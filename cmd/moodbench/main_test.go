@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1Tiny(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "tiny", "-figure", "table1", "-dataset", "mdc,privamov", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "mdc", "privamov", "Geneva", "Lyon"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig7Tiny(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "tiny", "-figure", "fig7", "-dataset", "privamov", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MooD") {
+		t.Fatalf("missing MooD column: %s", buf.String())
+	}
+}
+
+func TestRunFig6UsesSingleAttack(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "tiny", "-figure", "fig6", "-dataset", "privamov", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AP only") {
+		t.Fatalf("fig6 must state the single-attack setting: %s", buf.String())
+	}
+}
+
+func TestRunDynamicFigure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "tiny", "-figure", "dynamic", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dynamic protection") {
+		t.Fatalf("missing dynamic table: %s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-scale", "huge"},
+		{"-figure", "fig99", "-scale", "tiny"},
+		{"-search", "quantum", "-scale", "tiny"},
+	}
+	for _, args := range tests {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunGreedySearchFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "tiny", "-figure", "fig7", "-dataset", "privamov", "-search", "greedy", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "search=greedy") {
+		t.Fatalf("footer must echo the search strategy: %s", buf.String())
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mood/internal/synth"
+	"mood/internal/traceio"
+)
+
+// writeSplit generates a tiny dataset and writes background/raw CSVs.
+func writeSplit(t *testing.T) (bg, raw string) {
+	t.Helper()
+	cfg := synth.PrivamovLike(synth.ScaleTiny, 21)
+	cfg.NumUsers = 6
+	cfg.Days = 6
+	d := synth.MustGenerate(cfg)
+	train, test := d.SplitTrainTest(0.5, 20)
+
+	dir := t.TempDir()
+	bg = filepath.Join(dir, "bg.csv")
+	raw = filepath.Join(dir, "raw.csv")
+	if err := traceio.SaveCSVFile(bg, train); err != nil {
+		t.Fatal(err)
+	}
+	if err := traceio.SaveCSVFile(raw, test); err != nil {
+		t.Fatal(err)
+	}
+	return bg, raw
+}
+
+func TestProtectThenAttackRoundTrip(t *testing.T) {
+	bg, raw := writeSplit(t)
+	out := filepath.Join(filepath.Dir(raw), "protected.csv")
+
+	if err := run([]string{"protect", "-background", bg, "-in", raw, "-out", out, "-seed", "21"}); err != nil {
+		t.Fatal(err)
+	}
+	protected, err := traceio.LoadCSVFile(out, "protected")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if protected.NumRecords() == 0 {
+		t.Fatal("protected dataset is empty")
+	}
+
+	if err := run([]string{"attack", "-background", bg, "-in", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtectGreedyFlag(t *testing.T) {
+	bg, raw := writeSplit(t)
+	out := filepath.Join(filepath.Dir(raw), "protected.csv")
+	if err := run([]string{"protect", "-background", bg, "-in", raw, "-out", out, "-greedy"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	tests := [][]string{
+		nil,
+		{"frobnicate"},
+		{"protect"},                        // missing flags
+		{"attack", "-background", "x.csv"}, // missing -in
+		{"protect", "-background", "/nonexistent.csv", "-in", "/nonexistent.csv"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command moodserver runs the crowd-sensing middleware: participants
+// POST daily mobility chunks to /v1/upload and only protected,
+// pseudonymised fragments are admitted to GET /v1/dataset.
+//
+// Usage:
+//
+//	moodserver -background bg.csv [-addr :8080] [-seed 42] [-greedy]
+//
+// The background CSV plays the attacker-side knowledge H: it trains the
+// re-identification attacks the middleware defends against and feeds
+// HMC's pool of imitation targets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mood"
+	"mood/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "moodserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("moodserver", flag.ContinueOnError)
+	background := fs.String("background", "", "CSV file with the attacker-side background knowledge (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	seed := fs.Uint64("seed", 42, "random seed")
+	greedy := fs.Bool("greedy", false, "use the heuristic composition search")
+	delta := fs.Duration("delta", 0, "fine-grained stop threshold (default 4h)")
+	token := fs.String("token", "", "require this bearer token on every API call")
+	statePath := fs.String("state", "", "snapshot file: loaded at startup if present, saved periodically")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *background == "" {
+		return fmt.Errorf("-background is required")
+	}
+
+	bg, err := mood.LoadCSVFile(*background, "background")
+	if err != nil {
+		return err
+	}
+	opts := []mood.Option{mood.WithSeed(*seed)}
+	if *greedy {
+		opts = append(opts, mood.WithGreedySearch())
+	}
+	if *delta > 0 {
+		opts = append(opts, mood.WithDelta(*delta))
+	}
+	pipeline, err := mood.NewPipeline(bg.Traces, opts...)
+	if err != nil {
+		return err
+	}
+	srv, err := service.New(pipelineProtector{pipeline})
+	if err != nil {
+		return err
+	}
+	if *statePath != "" {
+		if _, serr := os.Stat(*statePath); serr == nil {
+			if err := srv.LoadState(*statePath); err != nil {
+				return err
+			}
+			log.Printf("moodserver: restored state from %s", *statePath)
+		}
+		go func() {
+			for range time.Tick(time.Minute) {
+				if err := srv.SaveState(*statePath); err != nil {
+					log.Printf("moodserver: snapshot failed: %v", err)
+				}
+			}
+		}()
+	}
+	handler := srv.Handler()
+	if *token != "" {
+		handler = service.WithAuth(*token, handler)
+	}
+
+	log.Printf("moodserver: background %d users, attacks %v, listening on %s",
+		bg.NumUsers(), pipeline.Attacks(), *addr)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return httpServer.ListenAndServe()
+}
+
+// pipelineProtector adapts the public Pipeline to the service interface.
+type pipelineProtector struct {
+	p *mood.Pipeline
+}
+
+func (pp pipelineProtector) Protect(t mood.Trace) (mood.Result, error) {
+	return pp.p.Protect(t)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mood/internal/synth"
+	"mood/internal/traceio"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	tests := [][]string{
+		{},                                    // missing -background
+		{"-background", "/nonexistent.csv"},   // unreadable file
+		{"-background", "/dev/null", "-addr"}, // broken flag
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestServerServesAfterStartup(t *testing.T) {
+	// Write a tiny background and start the real server on an ephemeral
+	// port; then probe /healthz.
+	cfg := synth.PrivamovLike(synth.ScaleTiny, 31)
+	cfg.NumUsers = 4
+	cfg.Days = 4
+	d := synth.MustGenerate(cfg)
+	bg := filepath.Join(t.TempDir(), "bg.csv")
+	if err := traceio.SaveCSVFile(bg, d); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	errc := make(chan error, 1)
+	go func() { errc <- run([]string{"-background", bg, "-addr", addr}) }()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case err := <-errc:
+			t.Fatalf("server exited early: %v", err)
+		case <-deadline:
+			t.Fatal("server never became healthy")
+		default:
+		}
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return // success; the goroutine dies with the process
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,59 @@
+package mood
+
+import (
+	"fmt"
+	"io"
+
+	"mood/internal/synth"
+	"mood/internal/traceio"
+)
+
+// GenerateDataset produces one of the synthetic stand-ins for the
+// paper's datasets. preset is "mdc", "privamov", "geolife" or
+// "cabspotting"; scale is "tiny", "bench" or "paper" (Table 1 user
+// counts). Generation is deterministic in seed.
+func GenerateDataset(preset, scale string, seed uint64) (Dataset, error) {
+	sc, err := synth.ParseScale(scale)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("mood: %w", err)
+	}
+	cfg, err := synth.PresetByName(preset, sc, seed)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("mood: %w", err)
+	}
+	d, err := synth.Generate(cfg)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("mood: %w", err)
+	}
+	return d, nil
+}
+
+// DatasetPresets lists the available preset names in Table 1 order.
+func DatasetPresets() []string {
+	cfgs := synth.Presets(synth.ScaleBench, 0)
+	out := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// SplitTrainTest splits every user's trace chronologically at frac of
+// the dataset's time span, keeping users with at least minRecords
+// records on both sides — the paper's 15-day background / 15-day test
+// protocol.
+func SplitTrainTest(d Dataset, frac float64, minRecords int) (train, test Dataset) {
+	return d.SplitTrainTest(frac, minRecords)
+}
+
+// ReadCSV reads a dataset in the "user,lat,lon,ts" CSV format.
+func ReadCSV(r io.Reader, name string) (Dataset, error) { return traceio.ReadCSV(r, name) }
+
+// WriteCSV writes a dataset in the "user,lat,lon,ts" CSV format.
+func WriteCSV(w io.Writer, d Dataset) error { return traceio.WriteCSV(w, d) }
+
+// LoadCSVFile reads a CSV dataset from a file.
+func LoadCSVFile(path, name string) (Dataset, error) { return traceio.LoadCSVFile(path, name) }
+
+// SaveCSVFile writes a CSV dataset to a file.
+func SaveCSVFile(path string, d Dataset) error { return traceio.SaveCSVFile(path, d) }

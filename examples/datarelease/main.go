@@ -1,0 +1,91 @@
+// Data release: the paper's §2.4 "data security expert" workflow.
+//
+// A security expert must publish a mobility dataset. The naive options —
+// one LPPM for everyone, or per-user best single LPPM (HybridLPPM) —
+// leave orphan users re-identifiable, and deleting their traces loses a
+// large share of the records. This example quantifies that loss and
+// shows MooD recovering it.
+//
+// Run with:
+//
+//	go run ./examples/datarelease
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mood"
+)
+
+func main() {
+	dataset, err := mood.GenerateDataset("privamov", "tiny", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	background, toPublish := mood.SplitTrainTest(dataset, 0.5, 20)
+	fmt.Printf("dataset to publish: %d users, %d records\n\n",
+		toPublish.NumUsers(), toPublish.NumRecords())
+
+	pipeline, err := mood.NewPipeline(background.Traces, mood.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Strategy 1: HybridLPPM — best protecting single LPPM per user;
+	// orphan users' traces must be deleted before release.
+	var hybridLost, hybridOrphans int
+	for _, tr := range toPublish.Traces {
+		res, err := pipeline.ProtectHybrid(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hybridLost += res.LostRecords
+		if !res.FullyProtected() {
+			hybridOrphans++
+		}
+	}
+	fmt.Printf("HybridLPPM: %d orphan users, data loss %.1f%%\n",
+		hybridOrphans, 100*float64(hybridLost)/float64(toPublish.NumRecords()))
+
+	// Strategy 2: MooD — compositions + fine-grained protection.
+	results, err := pipeline.ProtectDataset(toPublish)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var moodOrphans, composed, fineGrained int
+	for _, r := range results {
+		if !r.FullyProtected() {
+			moodOrphans++
+		}
+		if r.UsedComposition {
+			composed++
+		}
+		if r.UsedFineGrained {
+			fineGrained++
+		}
+	}
+	fmt.Printf("MooD:       %d orphan users, data loss %.1f%%\n",
+		moodOrphans, 100*pipeline.DataLoss(results))
+	fmt.Printf("            %d users needed multi-LPPM composition, %d fine-grained splitting\n\n",
+		composed, fineGrained)
+
+	// Release the protected dataset.
+	protected := pipeline.Publish("release", results)
+	fmt.Printf("published dataset: %d traces, %d records\n",
+		protected.NumUsers(), protected.NumRecords())
+
+	// Verify with ground truth: a leak happens only when an attack
+	// attributes a published piece to its *actual* owner. (An attack
+	// always names someone; wrong attributions are exactly the
+	// confusion MooD aims for.)
+	leaks := 0
+	for _, r := range results {
+		for _, piece := range r.Pieces {
+			if hit, _ := pipeline.ReIdentifies(piece.Trace.WithUser(""), r.User); hit {
+				leaks++
+			}
+		}
+	}
+	fmt.Printf("published pieces correctly re-identified (leaks): %d\n", leaks)
+}

@@ -1,0 +1,80 @@
+// Package attack implements the user re-identification attacks of the
+// paper: AP-Attack (heatmaps, [22]), POI-Attack (points of interest,
+// [27]) and PIT-Attack (mobility Markov chains, [16]).
+//
+// Every attack follows the two-phase protocol of §2.2: Train builds
+// per-user mobility profiles from background knowledge H (past,
+// unprotected traces), and Identify links an anonymous trace to the
+// closest profile. Attacks are safe for concurrent Identify calls once
+// trained — profiles are immutable after Train.
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"mood/internal/trace"
+)
+
+// ErrNotTrained is returned by Identify before Train has been called.
+var ErrNotTrained = errors.New("attack: not trained")
+
+// Verdict is the outcome of an identification attempt.
+type Verdict struct {
+	// User is the identity the attack assigns to the trace; empty when
+	// the attack cannot build a profile from the trace at all.
+	User string
+	// Score is the profile distance of the chosen user (lower = more
+	// confident, scale is attack-specific).
+	Score float64
+	// OK reports whether the attack produced a verdict. A false OK
+	// counts as a failed re-identification (Eq. 4's Aₖ(T) ≠ U).
+	OK bool
+}
+
+// Attack is a re-identification attack A : (R² × R⁺)* → U (Eq. 1).
+type Attack interface {
+	// Name identifies the attack in reports.
+	Name() string
+	// Train builds the per-user profiles from background traces.
+	Train(background []trace.Trace) error
+	// Identify links an anonymous trace to the closest known profile.
+	Identify(t trace.Trace) Verdict
+}
+
+// Set bundles several trained attacks; MooD's engine evaluates candidate
+// obfuscations against all of them.
+type Set []Attack
+
+// TrainAll trains every attack on the same background knowledge.
+func TrainAll(attacks Set, background []trace.Trace) error {
+	for _, a := range attacks {
+		if err := a.Train(background); err != nil {
+			return fmt.Errorf("attack: training %s: %w", a.Name(), err)
+		}
+	}
+	return nil
+}
+
+// ReIdentifies reports whether any attack in the set links t back to
+// trueUser, and returns the name of the first attack that does.
+// This is the predicate of the paper's protection definitions (Eq. 4–6):
+// a trace is protected iff *no* attack re-identifies it.
+func (s Set) ReIdentifies(t trace.Trace, trueUser string) (bool, string) {
+	for _, a := range s {
+		v := a.Identify(t)
+		if v.OK && v.User == trueUser {
+			return true, a.Name()
+		}
+	}
+	return false, ""
+}
+
+// Names returns the attack names in order.
+func (s Set) Names() []string {
+	out := make([]string, len(s))
+	for i, a := range s {
+		out[i] = a.Name()
+	}
+	return out
+}

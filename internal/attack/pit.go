@@ -1,0 +1,80 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"mood/internal/mmc"
+	"mood/internal/poi"
+	"mood/internal/trace"
+)
+
+// PIT is the de-anonymization attack of Gambs et al. [16]: users are
+// profiled as Mobility Markov Chains and an anonymous trace is
+// attributed to the chain minimizing the stats-prox distance (the
+// combination of stationary and proximity distances the original paper
+// found most effective).
+//
+// Like POIAttack, PIT needs dwell structure to build a chain; a trace
+// that yields no POIs produces no verdict.
+type PIT struct {
+	// Extractor configures the POI clustering that defines MMC states.
+	Extractor poi.Extractor
+
+	profiles []pitProfile
+	trained  bool
+}
+
+type pitProfile struct {
+	user  string
+	chain mmc.Chain
+}
+
+var _ Attack = (*PIT)(nil)
+
+// NewPIT returns a PIT-attack with the paper's POI parameters.
+func NewPIT() *PIT {
+	return &PIT{Extractor: poi.NewExtractor()}
+}
+
+// Name implements Attack.
+func (*PIT) Name() string { return "PIT" }
+
+// Train implements Attack. As with POIAttack, users without dwell
+// structure yield no chain; only an empty background is an error.
+func (a *PIT) Train(background []trace.Trace) error {
+	if len(background) == 0 {
+		return fmt.Errorf("attack: PIT training needs background traces")
+	}
+	a.profiles = a.profiles[:0]
+	for _, t := range background {
+		c := mmc.Build(a.Extractor, t)
+		if c.Empty() {
+			continue
+		}
+		a.profiles = append(a.profiles, pitProfile{user: t.User, chain: c})
+	}
+	a.trained = true
+	return nil
+}
+
+// Identify implements Attack.
+func (a *PIT) Identify(t trace.Trace) Verdict {
+	if !a.trained || len(a.profiles) == 0 {
+		return Verdict{}
+	}
+	c := mmc.Build(a.Extractor, t)
+	if c.Empty() {
+		return Verdict{}
+	}
+	best := Verdict{Score: math.Inf(1)}
+	for _, p := range a.profiles {
+		if d := mmc.StatsProx(c, p.chain); d < best.Score {
+			best = Verdict{User: p.user, Score: d, OK: true}
+		}
+	}
+	if math.IsInf(best.Score, 1) {
+		return Verdict{}
+	}
+	return best
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mood/internal/attack"
+	"mood/internal/lppm"
+	"mood/internal/mathx"
+	"mood/internal/trace"
+)
+
+// alwaysFailMech errors on every trace.
+type alwaysFailMech struct{}
+
+func (alwaysFailMech) Name() string { return "broken" }
+func (alwaysFailMech) Obfuscate(*mathx.Rand, trace.Trace) (trace.Trace, error) {
+	return trace.Trace{}, fmt.Errorf("always fails")
+}
+
+// alwaysHitAttack re-identifies everything as its trained owner — the
+// worst case for any LPPM.
+type alwaysHitAttack struct {
+	users map[string]bool
+}
+
+func (*alwaysHitAttack) Name() string { return "omniscient" }
+func (a *alwaysHitAttack) Train(background []trace.Trace) error {
+	a.users = make(map[string]bool, len(background))
+	for _, t := range background {
+		a.users[t.User] = true
+	}
+	return nil
+}
+func (a *alwaysHitAttack) Identify(trace.Trace) attack.Verdict {
+	// Trained on a single-user background, this always names that user,
+	// so every candidate obfuscation of that user is "re-identified" —
+	// the worst case the engine can face.
+	for u := range a.users {
+		return attack.Verdict{User: u, Score: 0, OK: true}
+	}
+	return attack.Verdict{}
+}
+
+func TestEngineAllMechanismsFailing(t *testing.T) {
+	s := newScenario(t, 51)
+	e := &Engine{
+		LPPMs:   []lppm.Mechanism{alwaysFailMech{}},
+		Attacks: s.atks,
+		Seed:    51,
+	}
+	tr := s.test.Traces[0]
+	res, err := e.Protect(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pieces) != 0 {
+		t.Fatal("broken mechanism must protect nothing")
+	}
+	if res.LostRecords != tr.Len() {
+		t.Fatalf("lost %d, want all %d", res.LostRecords, tr.Len())
+	}
+	if !res.UsedFineGrained {
+		t.Fatal("engine must have tried the fine-grained stage before giving up")
+	}
+}
+
+func TestEngineNoAttacksProtectsEverything(t *testing.T) {
+	// With an empty attack set, nothing can re-identify: the first
+	// single LPPM with the best utility wins immediately.
+	s := newScenario(t, 52)
+	e := &Engine{LPPMs: s.lppms, Attacks: nil, Seed: 52}
+	for _, tr := range s.test.Traces {
+		res, err := e.Protect(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.FullyProtected() || res.UsedComposition {
+			t.Fatalf("user %s: no-attack result %+v", tr.User, res)
+		}
+	}
+}
+
+func TestEngineAgainstOmniscientAttacker(t *testing.T) {
+	// Against an attacker that always wins on a single-user background,
+	// the engine must erase everything rather than publish.
+	s := newScenario(t, 53)
+	victim := s.test.Traces[0]
+	omni := &alwaysHitAttack{}
+	if err := omni.Train([]trace.Trace{victim}); err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{
+		LPPMs:   s.lppms,
+		Attacks: attack.Set{omni},
+		Seed:    53,
+	}
+	res, err := e.Protect(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pieces) != 0 {
+		t.Fatal("engine published despite an attacker that always re-identifies")
+	}
+	if res.LostRecords != victim.Len() {
+		t.Fatalf("lost %d, want all %d", res.LostRecords, victim.Len())
+	}
+}
+
+func TestHybridWithBrokenMechanismFallsThrough(t *testing.T) {
+	s := newScenario(t, 54)
+	h := Hybrid{
+		LPPMs:   append([]lppm.Mechanism{alwaysFailMech{}}, s.lppms...),
+		Attacks: s.atks,
+		Seed:    54,
+	}
+	res, err := h.Protect(s.test.Traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pieces) == 1 && res.Pieces[0].Mechanism == "broken" {
+		t.Fatal("hybrid selected the broken mechanism")
+	}
+}
+
+func TestPseudonymsStableAcrossEngines(t *testing.T) {
+	// Pseudonyms derive from (seed, user, counter): two engines with the
+	// same seed assign the same pseudonyms, which keeps distributed
+	// deployments consistent.
+	a := &Engine{Seed: 99}
+	b := &Engine{Seed: 99}
+	if a.pseudonym("alice", 1) != b.pseudonym("alice", 1) {
+		t.Fatal("pseudonyms differ across engines with the same seed")
+	}
+	if a.pseudonym("alice", 1) == a.pseudonym("alice", 2) {
+		t.Fatal("pseudonym counter ignored")
+	}
+	if a.pseudonym("alice", 1) == a.pseudonym("bob", 1) {
+		t.Fatal("pseudonyms must differ across users")
+	}
+	c := &Engine{Seed: 100}
+	if a.pseudonym("alice", 1) == c.pseudonym("alice", 1) {
+		t.Fatal("pseudonyms must differ across seeds")
+	}
+}

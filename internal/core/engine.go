@@ -1,0 +1,386 @@
+// Package core implements the paper's contribution: the MooD engine
+// (Algorithm 1). Per user, the engine searches for a protecting
+// single LPPM, then for a protecting ordered composition of LPPMs
+// (Multi-LPPM Composition Search, §3.3), and falls back to fine-grained
+// protection (§3.4): the trace is cut into 24 h chunks, each chunk is
+// recursively halved down to δ, every protected sub-trace is published
+// under a fresh pseudonym, and whatever cannot be protected is erased.
+// Among protecting transformations, the one with the best utility wins
+// (Best LPPM Selection, §3.5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mood/internal/attack"
+	"mood/internal/lppm"
+	"mood/internal/mathx"
+	"mood/internal/metrics"
+	"mood/internal/trace"
+)
+
+// Defaults from the paper's experimental setup (§4.2).
+const (
+	// DefaultDelta is δ, the minimum sub-trace duration below which the
+	// fine-grained recursion stops and records are erased (4 h).
+	DefaultDelta = 4 * time.Hour
+	// DefaultChunk is the initial fine-grained slice (24 h, the daily
+	// crowd-sensing upload).
+	DefaultChunk = 24 * time.Hour
+)
+
+// ErrNoLPPMs is returned by Engine methods when no mechanisms are
+// configured.
+var ErrNoLPPMs = errors.New("core: engine has no LPPMs")
+
+// Engine runs MooD. Configure the fields, then call Protect or
+// ProtectDataset. The attacks must already be trained on the background
+// knowledge H. An Engine is safe for concurrent use.
+type Engine struct {
+	// LPPMs is the mechanism portfolio L.
+	LPPMs []lppm.Mechanism
+	// Attacks is the trained attack set A the protection must resist.
+	Attacks attack.Set
+	// Utility is the metric M of the Best LPPM Selection stage
+	// (defaults to spatio-temporal distortion).
+	Utility metrics.Utility
+	// Delta is δ (defaults to 4 h).
+	Delta time.Duration
+	// Chunk is the initial fine-grained slice (defaults to 24 h).
+	Chunk time.Duration
+	// Seed drives every stochastic mechanism application; a given
+	// (Seed, user) pair reproduces the exact published output.
+	Seed uint64
+	// Search selects the composition search strategy (defaults to
+	// brute force, as in the paper; see search.go for the heuristic
+	// extension of §6).
+	Search SearchStrategy
+	// OuterSplit overrides how the fine-grained stage cuts the trace
+	// into initial sub-traces (defaults to fixed Chunk-duration slices).
+	// The paper's §6 proposes inter-POI and time-gap splitting; the
+	// ablation benchmarks compare them through this hook.
+	OuterSplit trace.Splitter
+}
+
+// Piece is one published fragment of a user's protected data.
+type Piece struct {
+	// Trace is the obfuscated output. For fine-grained pieces the user
+	// label is a fresh pseudonym.
+	Trace trace.Trace
+	// Mechanism names the LPPM or composition that protected the piece.
+	Mechanism string
+	// Distortion is the utility score versus the original fragment.
+	Distortion float64
+	// SourceRecords is the record count of the original fragment.
+	SourceRecords int
+	// Composed reports whether a multi-LPPM composition was needed.
+	Composed bool
+	// Depth is the fine-grained recursion depth (0 = whole trace,
+	// 1 = 24 h chunk, 2+ = recursive halves).
+	Depth int
+}
+
+// Stats counts the work done while protecting one trace.
+type Stats struct {
+	// Candidates is the number of obfuscations generated and evaluated.
+	Candidates int
+	// AttackCalls is the number of Identify invocations.
+	AttackCalls int
+	// SplitCount is the number of fine-grained splits performed.
+	SplitCount int
+}
+
+func (s *Stats) add(o Stats) {
+	s.Candidates += o.Candidates
+	s.AttackCalls += o.AttackCalls
+	s.SplitCount += o.SplitCount
+}
+
+// Result is the outcome of protecting one user.
+type Result struct {
+	// User is the original identity.
+	User string
+	// Pieces are the protected fragments to publish (empty when the
+	// user could not be protected at all).
+	Pieces []Piece
+	// TotalRecords is the record count of the original trace.
+	TotalRecords int
+	// LostRecords counts original records erased because their fragment
+	// stayed vulnerable even at δ granularity (Eq. 7's numerator).
+	LostRecords int
+	// UsedComposition reports that a multi-LPPM composition was needed
+	// (the user is an orphan w.r.t. single LPPMs, Def. 4).
+	UsedComposition bool
+	// UsedFineGrained reports that the fine-grained stage ran (the user
+	// is an orphan even w.r.t. compositions).
+	UsedFineGrained bool
+	// Chunks reports the outcome of every 24 h sub-trace of the
+	// fine-grained stage (empty unless UsedFineGrained); Figure 8 is
+	// drawn from these.
+	Chunks []ChunkOutcome
+	// Stats records the search effort.
+	Stats Stats
+}
+
+// ChunkOutcome summarises the fine-grained protection of one 24 h chunk.
+type ChunkOutcome struct {
+	// Records is the chunk's original record count.
+	Records int
+	// Lost is how many of those records had to be erased.
+	Lost int
+	// Pieces is how many protected fragments the chunk produced.
+	Pieces int
+}
+
+// Protected reports whether the whole chunk survived.
+func (c ChunkOutcome) Protected() bool { return c.Lost == 0 && c.Pieces > 0 }
+
+// FullyProtected reports whether every original record was published in
+// protected form.
+func (r Result) FullyProtected() bool { return r.LostRecords == 0 && len(r.Pieces) > 0 }
+
+// ProtectedRecords returns the number of original records that made it
+// into the published output.
+func (r Result) ProtectedRecords() int { return r.TotalRecords - r.LostRecords }
+
+// MeanDistortion averages piece distortion weighted by source records.
+// It returns 0 when nothing was protected.
+func (r Result) MeanDistortion() float64 {
+	var sum, w float64
+	for _, p := range r.Pieces {
+		sum += p.Distortion * float64(p.SourceRecords)
+		w += float64(p.SourceRecords)
+	}
+	if w == 0 {
+		return 0
+	}
+	return sum / w
+}
+
+func (e *Engine) utility() metrics.Utility {
+	if e.Utility != nil {
+		return e.Utility
+	}
+	return metrics.STDUtility{}
+}
+
+func (e *Engine) delta() time.Duration {
+	if e.Delta > 0 {
+		return e.Delta
+	}
+	return DefaultDelta
+}
+
+func (e *Engine) chunk() time.Duration {
+	if e.Chunk > 0 {
+		return e.Chunk
+	}
+	return DefaultChunk
+}
+
+func (e *Engine) search() SearchStrategy {
+	if e.Search != nil {
+		return e.Search
+	}
+	return BruteForce{}
+}
+
+// Protect runs Algorithm 1 on one trace.
+func (e *Engine) Protect(t trace.Trace) (Result, error) {
+	if len(e.LPPMs) == 0 {
+		return Result{}, ErrNoLPPMs
+	}
+	if t.Empty() {
+		return Result{}, fmt.Errorf("core: user %q: %w", t.User, lppm.ErrEmptyTrace)
+	}
+
+	res := Result{User: t.User, TotalRecords: t.Len()}
+
+	// Stage 1 + 2: whole-trace single and composition search.
+	piece, found, stats := e.searchTrace(t, t.User, "whole", 0)
+	res.Stats.add(stats)
+	if found {
+		res.UsedComposition = piece.Composed
+		res.Pieces = []Piece{piece}
+		return res, nil
+	}
+
+	// Stage 3: fine-grained protection on 24 h chunks (or the
+	// configured splitter).
+	res.UsedComposition = true
+	res.UsedFineGrained = true
+	var chunks []trace.Trace
+	if e.OuterSplit != nil {
+		chunks = e.OuterSplit.Split(t)
+	} else {
+		chunks = t.Chunks(e.chunk())
+	}
+	pseudo := 0
+	for ci, chunk := range chunks {
+		pieces, lost, st := e.protectFragment(chunk, t.User, "c"+strconv.Itoa(ci), 1)
+		res.Stats.add(st)
+		res.LostRecords += lost
+		res.Chunks = append(res.Chunks, ChunkOutcome{
+			Records: chunk.Len(),
+			Lost:    lost,
+			Pieces:  len(pieces),
+		})
+		for _, p := range pieces {
+			pseudo++
+			p.Trace = p.Trace.WithUser(e.pseudonym(t.User, pseudo))
+			res.Pieces = append(res.Pieces, p)
+		}
+	}
+	return res, nil
+}
+
+// protectFragment implements the recursive part of Algorithm 1
+// (lines 27-36): search, then split in half and recurse while the
+// fragment is at least δ long.
+func (e *Engine) protectFragment(t trace.Trace, user, path string, depth int) ([]Piece, int, Stats) {
+	var stats Stats
+	if t.Empty() {
+		return nil, 0, stats
+	}
+	piece, found, st := e.searchTrace(t, user, path, depth)
+	stats.add(st)
+	if found {
+		return []Piece{piece}, 0, stats
+	}
+	if t.Duration() < e.delta() || t.Len() < 2 {
+		// Line 36: fragment erased.
+		return nil, t.Len(), stats
+	}
+	stats.SplitCount++
+	first, second := t.SplitHalf()
+	p1, l1, s1 := e.protectFragment(first, user, path+".a", depth+1)
+	p2, l2, s2 := e.protectFragment(second, user, path+".b", depth+1)
+	stats.add(s1)
+	stats.add(s2)
+	return append(p1, p2...), l1 + l2, stats
+}
+
+// searchTrace runs the single-LPPM pass and, if needed, the composition
+// pass on one fragment, returning the best protecting piece.
+func (e *Engine) searchTrace(t trace.Trace, user, path string, depth int) (Piece, bool, Stats) {
+	return e.search().Search(e, t, user, path, depth)
+}
+
+// evaluate obfuscates t with mech and tests it against every attack.
+// It returns the piece (unset Mechanism if not protecting), whether the
+// obfuscation resisted all attacks, and the work counters.
+func (e *Engine) evaluate(mech lppm.Mechanism, t trace.Trace, user, path string, depth int) (Piece, bool, Stats) {
+	stats := Stats{Candidates: 1}
+	rng := mathx.DeriveRand(e.Seed, "mood", user, path, mech.Name())
+	obf, err := mech.Obfuscate(rng, t)
+	if err != nil || obf.Empty() {
+		// A mechanism that cannot process the fragment simply does not
+		// protect it; Algorithm 1 moves on to the next candidate.
+		return Piece{}, false, stats
+	}
+	stats.AttackCalls = len(e.Attacks)
+	if hit, _ := e.Attacks.ReIdentifies(obf.WithUser(""), user); hit {
+		return Piece{}, false, stats
+	}
+	return Piece{
+		Trace:         obf,
+		Mechanism:     mech.Name(),
+		Distortion:    e.utility().Measure(t, obf),
+		SourceRecords: t.Len(),
+		Composed:      chainLen(mech) > 1,
+		Depth:         depth,
+	}, true, stats
+}
+
+func chainLen(m lppm.Mechanism) int {
+	if c, ok := m.(lppm.Chain); ok {
+		return c.Len()
+	}
+	return 1
+}
+
+// pseudonym derives a deterministic fresh identity for a fine-grained
+// piece (§3.4's renew_Ids).
+func (e *Engine) pseudonym(user string, n int) string {
+	h := mathx.DeriveSeed(e.Seed, "pseudonym", user, strconv.Itoa(n))
+	return "anon-" + strconv.FormatUint(h&0xffffffffff, 36)
+}
+
+// ProtectDataset protects every trace of d in parallel and returns the
+// per-user results ordered by user ID.
+func (e *Engine) ProtectDataset(d trace.Dataset) ([]Result, error) {
+	if len(e.LPPMs) == 0 {
+		return nil, ErrNoLPPMs
+	}
+	results := make([]Result, len(d.Traces))
+	errs := make([]error, len(d.Traces))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(d.Traces) {
+		workers = len(d.Traces)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = e.Protect(d.Traces[i])
+			}
+		}()
+	}
+	for i := range d.Traces {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: protecting %s: %w", d.Traces[i].User, err)
+		}
+	}
+	return results, nil
+}
+
+// PublishDataset assembles the protected dataset from results: one trace
+// per piece, whole-trace pieces keeping the original (pseudonymous
+// upstream) user ID and fine-grained pieces their fresh pseudonyms.
+func PublishDataset(name string, results []Result) trace.Dataset {
+	var traces []trace.Trace
+	for _, r := range results {
+		for _, p := range r.Pieces {
+			traces = append(traces, p.Trace)
+		}
+	}
+	return trace.NewDataset(name, traces)
+}
+
+// DataLoss computes Eq. 7 over a batch of results.
+func DataLoss(results []Result) float64 {
+	var lost, total int
+	for _, r := range results {
+		lost += r.LostRecords
+		total += r.TotalRecords
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(lost) / float64(total)
+}
+
+// SortResults orders results by user ID in place (ProtectDataset already
+// returns them ordered; this is for callers that merge batches).
+func SortResults(results []Result) {
+	sort.Slice(results, func(i, j int) bool { return results[i].User < results[j].User })
+}

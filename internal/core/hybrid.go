@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mood/internal/attack"
+	"mood/internal/lppm"
+	"mood/internal/mathx"
+	"mood/internal/metrics"
+	"mood/internal/trace"
+)
+
+// Hybrid is the HybridLPPM baseline of Maouche et al. [22] as used in
+// the paper (§4.1.2): per user, every single LPPM is evaluated and the
+// protecting one with the lowest distortion is selected; if none
+// protects, the user stays vulnerable and their records are lost.
+// Hybrid never composes mechanisms and never splits traces — exactly
+// what MooD adds on top of it.
+type Hybrid struct {
+	// LPPMs is the portfolio, conventionally ordered by increasing
+	// expected distortion (HMC → Geo-I → TRL in the paper).
+	LPPMs []lppm.Mechanism
+	// Attacks is the trained attack set.
+	Attacks attack.Set
+	// Utility defaults to spatio-temporal distortion.
+	Utility metrics.Utility
+	// Seed drives mechanism randomness.
+	Seed uint64
+}
+
+// Protect applies the hybrid selection to one trace. The Result uses the
+// same shape as the engine's so the evaluation harness can treat both
+// uniformly; an unprotected user yields zero pieces and full record loss.
+func (h Hybrid) Protect(t trace.Trace) (Result, error) {
+	if len(h.LPPMs) == 0 {
+		return Result{}, ErrNoLPPMs
+	}
+	if t.Empty() {
+		return Result{}, fmt.Errorf("core: hybrid: user %q: %w", t.User, lppm.ErrEmptyTrace)
+	}
+	util := h.Utility
+	if util == nil {
+		util = metrics.STDUtility{}
+	}
+
+	res := Result{User: t.User, TotalRecords: t.Len()}
+	var best Piece
+	found := false
+	for _, m := range h.LPPMs {
+		res.Stats.Candidates++
+		rng := mathx.DeriveRand(h.Seed, "hybrid", t.User, m.Name())
+		obf, err := m.Obfuscate(rng, t)
+		if err != nil || obf.Empty() {
+			continue
+		}
+		res.Stats.AttackCalls += len(h.Attacks)
+		if hit, _ := h.Attacks.ReIdentifies(obf.WithUser(""), t.User); hit {
+			continue
+		}
+		p := Piece{
+			Trace:         obf,
+			Mechanism:     m.Name(),
+			Distortion:    util.Measure(t, obf),
+			SourceRecords: t.Len(),
+		}
+		if !found || util.Better(p.Distortion, best.Distortion) {
+			best, found = p, true
+		}
+	}
+	if found {
+		res.Pieces = []Piece{best}
+		return res, nil
+	}
+	res.LostRecords = t.Len()
+	return res, nil
+}
+
+// ProtectDataset applies the hybrid baseline to every user.
+func (h Hybrid) ProtectDataset(d trace.Dataset) ([]Result, error) {
+	if len(h.LPPMs) == 0 {
+		return nil, ErrNoLPPMs
+	}
+	out := make([]Result, 0, len(d.Traces))
+	for _, t := range d.Traces {
+		r, err := h.Protect(t)
+		if err != nil {
+			if errors.Is(err, lppm.ErrEmptyTrace) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SingleLPPM is the simplest baseline: one mechanism applied to
+// everyone, with record loss for every user it fails to protect. This is
+// the "Geo-I / TRL / HMC" column of Figures 2, 3, 6, 7 and 10.
+type SingleLPPM struct {
+	// LPPM is the mechanism to apply (use lppm.Identity{} for the
+	// no-LPPM row).
+	LPPM lppm.Mechanism
+	// Attacks is the trained attack set.
+	Attacks attack.Set
+	// Utility defaults to spatio-temporal distortion.
+	Utility metrics.Utility
+	// Seed drives mechanism randomness.
+	Seed uint64
+}
+
+// Protect applies the single mechanism to one trace.
+func (s SingleLPPM) Protect(t trace.Trace) (Result, error) {
+	if s.LPPM == nil {
+		return Result{}, ErrNoLPPMs
+	}
+	if t.Empty() {
+		return Result{}, fmt.Errorf("core: single: user %q: %w", t.User, lppm.ErrEmptyTrace)
+	}
+	util := s.Utility
+	if util == nil {
+		util = metrics.STDUtility{}
+	}
+	res := Result{User: t.User, TotalRecords: t.Len(), Stats: Stats{Candidates: 1}}
+	rng := mathx.DeriveRand(s.Seed, "single", t.User, s.LPPM.Name())
+	obf, err := s.LPPM.Obfuscate(rng, t)
+	if err != nil || obf.Empty() {
+		res.LostRecords = t.Len()
+		return res, nil
+	}
+	res.Stats.AttackCalls = len(s.Attacks)
+	if hit, _ := s.Attacks.ReIdentifies(obf.WithUser(""), t.User); hit {
+		res.LostRecords = t.Len()
+		return res, nil
+	}
+	res.Pieces = []Piece{{
+		Trace:         obf,
+		Mechanism:     s.LPPM.Name(),
+		Distortion:    util.Measure(t, obf),
+		SourceRecords: t.Len(),
+	}}
+	return res, nil
+}
+
+// ProtectDataset applies the single-LPPM baseline to every user.
+func (s SingleLPPM) ProtectDataset(d trace.Dataset) ([]Result, error) {
+	if s.LPPM == nil {
+		return nil, ErrNoLPPMs
+	}
+	out := make([]Result, 0, len(d.Traces))
+	for _, t := range d.Traces {
+		r, err := s.Protect(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Protector is the common interface of MooD and the baselines; the
+// evaluation harness runs them interchangeably.
+type Protector interface {
+	Protect(t trace.Trace) (Result, error)
+	ProtectDataset(d trace.Dataset) ([]Result, error)
+}
+
+var (
+	_ Protector = (*Engine)(nil)
+	_ Protector = Hybrid{}
+	_ Protector = SingleLPPM{}
+)

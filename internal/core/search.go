@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sort"
+
+	"mood/internal/lppm"
+	"mood/internal/mathx"
+	"mood/internal/trace"
+)
+
+// SearchStrategy explores the composition space C for one fragment.
+// Implementations must honour Algorithm 1's contract: try single LPPMs
+// first and only fall through to strict compositions when no single
+// protects (the paper returns the best *single* when one exists, even if
+// a composition would have better utility).
+type SearchStrategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Search returns the best protecting piece for fragment t of user,
+	// whether one was found, and the work counters.
+	Search(e *Engine, t trace.Trace, user, path string, depth int) (Piece, bool, Stats)
+}
+
+// BruteForce is the paper's exhaustive search: every candidate is
+// evaluated and the protecting one with the best utility is returned.
+type BruteForce struct{}
+
+var _ SearchStrategy = BruteForce{}
+
+// Name implements SearchStrategy.
+func (BruteForce) Name() string { return "brute" }
+
+// Search implements SearchStrategy.
+func (BruteForce) Search(e *Engine, t trace.Trace, user, path string, depth int) (Piece, bool, Stats) {
+	var stats Stats
+
+	// Lines 4-14: single LPPMs, best utility among the protecting ones.
+	var best Piece
+	found := false
+	for _, m := range e.LPPMs {
+		p, ok, st := e.evaluate(m, t, user, path, depth)
+		stats.add(st)
+		if ok && (!found || e.utility().Better(p.Distortion, best.Distortion)) {
+			best, found = p, true
+		}
+	}
+	if found {
+		return best, true, stats
+	}
+
+	// Lines 15-26: strict compositions C − L.
+	for _, c := range lppm.CompositionsOnly(e.LPPMs) {
+		p, ok, st := e.evaluate(c, t, user, path, depth)
+		stats.add(st)
+		if ok && (!found || e.utility().Better(p.Distortion, best.Distortion)) {
+			best, found = p, true
+		}
+	}
+	return best, found, stats
+}
+
+// Greedy is the heuristic composition search the paper's §6 calls for
+// ("optimizing the search by exploring new heuristics"): the single-LPPM
+// pass doubles as a probe of each mechanism's distortion on this
+// fragment, strict compositions are then ordered by the sum of their
+// members' measured distortions, and the scan stops at the first
+// protecting composition. It trades the guarantee of the best utility
+// for far fewer attack evaluations; the ablation benchmark quantifies
+// both sides.
+type Greedy struct{}
+
+var _ SearchStrategy = Greedy{}
+
+// Name implements SearchStrategy.
+func (Greedy) Name() string { return "greedy" }
+
+// Search implements SearchStrategy.
+func (Greedy) Search(e *Engine, t trace.Trace, user, path string, depth int) (Piece, bool, Stats) {
+	var stats Stats
+
+	// Single pass: keep the best protector and record every mechanism's
+	// distortion as the heuristic signal.
+	distortion := make(map[string]float64, len(e.LPPMs))
+	var best Piece
+	found := false
+	for _, m := range e.LPPMs {
+		p, ok, st := e.evaluate(m, t, user, path, depth)
+		stats.add(st)
+		d := p.Distortion
+		if !ok {
+			// Re-measure the failed candidate so the heuristic still
+			// has a signal; an un-measurable mechanism ranks last.
+			d = e.probeDistortion(m, t, user, path)
+		}
+		distortion[m.Name()] = d
+		if ok && (!found || e.utility().Better(p.Distortion, best.Distortion)) {
+			best, found = p, true
+		}
+	}
+	if found {
+		return best, true, stats
+	}
+
+	chains := lppm.CompositionsOnly(e.LPPMs)
+	type ranked struct {
+		chain lppm.Chain
+		score float64
+	}
+	order := make([]ranked, len(chains))
+	for i, c := range chains {
+		var sum float64
+		for _, m := range c.Mechs {
+			sum += distortion[m.Name()]
+		}
+		order[i] = ranked{chain: c, score: sum}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].score < order[j].score })
+
+	for _, r := range order {
+		p, ok, st := e.evaluate(r.chain, t, user, path, depth)
+		stats.add(st)
+		if ok {
+			return p, true, stats // first protecting composition wins
+		}
+	}
+	return Piece{}, false, stats
+}
+
+// probeDistortion measures a mechanism's utility cost on t without any
+// attack evaluation (heuristic signal only).
+func (e *Engine) probeDistortion(m lppm.Mechanism, t trace.Trace, user, path string) float64 {
+	rng := mathx.DeriveRand(e.Seed, "probe", user, path, m.Name())
+	obf, err := m.Obfuscate(rng, t)
+	if err != nil || obf.Empty() {
+		return worstScore()
+	}
+	return e.utility().Measure(t, obf)
+}
+
+func worstScore() float64 { return 1e300 }

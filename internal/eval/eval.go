@@ -1,0 +1,328 @@
+// Package eval is the experiment harness: it reproduces every table and
+// figure of the paper's evaluation (§4) end to end — dataset generation,
+// 15/15-day chronological split, attack training, the LPPM × attack ×
+// dataset matrix, MooD and its baselines, and the derived series
+// (non-protected users, data loss, utility bands, fine-grained
+// sub-trace ratios).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mood/internal/attack"
+	"mood/internal/core"
+	"mood/internal/lppm"
+	"mood/internal/metrics"
+	"mood/internal/synth"
+	"mood/internal/trace"
+)
+
+// Strategy names, in the column order of Figures 6, 7 and 10.
+const (
+	StratNone   = "no-LPPM"
+	StratGeoI   = "GeoI"
+	StratTRL    = "TRL"
+	StratHMC    = "HMC"
+	StratHybrid = "HybridLPPM"
+	StratMooD   = "MooD"
+)
+
+// StrategyOrder is the presentation order of the paper's figures.
+var StrategyOrder = []string{StratNone, StratGeoI, StratTRL, StratHMC, StratHybrid, StratMooD}
+
+// Config parameterises a full evaluation run.
+type Config struct {
+	// Scale selects dataset sizes (synth.ScaleBench by default).
+	Scale synth.Scale
+	// Seed drives dataset generation, mechanisms and pseudonyms.
+	Seed uint64
+	// Datasets restricts the run to the named presets (nil = all four).
+	Datasets []string
+	// TrainFraction is the chronological split point (0.5 in the paper:
+	// 15 of 30 days).
+	TrainFraction float64
+	// MinRecords is the per-half activity threshold for keeping a user.
+	MinRecords int
+	// SingleAttack restricts the attack set to AP-attack only, as in
+	// Figure 6 ("the most powerful attack currently known").
+	SingleAttack bool
+	// Search selects MooD's composition search strategy.
+	Search core.SearchStrategy
+	// Delta overrides MooD's δ (0 = the paper's 4 h).
+	Delta time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = synth.ScaleBench
+	}
+	if c.TrainFraction <= 0 || c.TrainFraction >= 1 {
+		c.TrainFraction = 0.5
+	}
+	if c.MinRecords <= 0 {
+		c.MinRecords = 50
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = []string{"mdc", "privamov", "geolife", "cabspotting"}
+	}
+	return c
+}
+
+// StrategyEval is one strategy's outcome on one dataset.
+type StrategyEval struct {
+	// Strategy is one of the Strat* names.
+	Strategy string
+	// NonProtected is the number of users not fully protected — the
+	// y-axis of Figures 2, 6 and 7.
+	NonProtected int
+	// DataLoss is Eq. 7's ratio in [0, 1] — Figures 3 and 10.
+	DataLoss float64
+	// Bands counts fully protected users per distortion band — Figure 9.
+	Bands map[metrics.Band]int
+	// Results holds the raw per-user outcomes.
+	Results []core.Result
+}
+
+// ProtectedRatio returns the share of users fully protected.
+func (s StrategyEval) ProtectedRatio() float64 {
+	if len(s.Results) == 0 {
+		return 0
+	}
+	return 1 - float64(s.NonProtected)/float64(len(s.Results))
+}
+
+// FineGrainedUser is one orphan user's Figure 8 bar.
+type FineGrainedUser struct {
+	// User is the original identity.
+	User string
+	// Label is the paper-style anonymous label (USER A, USER B, ...).
+	Label string
+	// SubTraces is the number of 24 h chunks.
+	SubTraces int
+	// Protected is how many chunks were fully protected.
+	Protected int
+}
+
+// Ratio returns the protected share of sub-traces.
+func (f FineGrainedUser) Ratio() float64 {
+	if f.SubTraces == 0 {
+		return 0
+	}
+	return float64(f.Protected) / float64(f.SubTraces)
+}
+
+// DatasetEval is one dataset's full evaluation.
+type DatasetEval struct {
+	// Name is the dataset preset name.
+	Name string
+	// Location is the modelled city (Table 1).
+	Location string
+	// Users and Records describe the generated dataset after the
+	// activity filter (Table 1).
+	Users   int
+	Records int
+	// TestRecords is |D|_r of the published (test) half, the data-loss
+	// denominator.
+	TestRecords int
+	// Strategies holds one entry per Strat* name, in StrategyOrder.
+	Strategies []StrategyEval
+	// FineGrained lists the per-orphan Figure 8 bars (users that needed
+	// the fine-grained stage under MooD).
+	FineGrained []FineGrainedUser
+	// AttackHits counts, per attack, how many raw test traces it
+	// re-identifies — the per-attack decomposition behind the paper's
+	// "AP-attack is the most powerful known attack" claim (§4.3).
+	AttackHits map[string]int
+}
+
+// Strategy returns the named strategy's evaluation.
+func (d DatasetEval) Strategy(name string) (StrategyEval, bool) {
+	for _, s := range d.Strategies {
+		if s.Strategy == name {
+			return s, true
+		}
+	}
+	return StrategyEval{}, false
+}
+
+// Run is a complete evaluation across datasets.
+type Run struct {
+	Config   Config
+	Datasets []DatasetEval
+}
+
+// Dataset returns the named dataset's evaluation.
+func (r Run) Dataset(name string) (DatasetEval, bool) {
+	for _, d := range r.Datasets {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return DatasetEval{}, false
+}
+
+// locations maps preset names to the cities of Table 1.
+var locations = map[string]string{
+	"mdc":         "Geneva",
+	"privamov":    "Lyon",
+	"geolife":     "Beijing",
+	"cabspotting": "San Francisco",
+}
+
+// RunAll executes the full evaluation described by cfg.
+func RunAll(cfg Config) (Run, error) {
+	cfg = cfg.withDefaults()
+	run := Run{Config: cfg}
+	for _, name := range cfg.Datasets {
+		de, err := runDataset(cfg, name)
+		if err != nil {
+			return Run{}, fmt.Errorf("eval: dataset %s: %w", name, err)
+		}
+		run.Datasets = append(run.Datasets, de)
+	}
+	return run, nil
+}
+
+func runDataset(cfg Config, name string) (DatasetEval, error) {
+	synthCfg, err := synth.PresetByName(name, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return DatasetEval{}, err
+	}
+	full, err := synth.Generate(synthCfg)
+	if err != nil {
+		return DatasetEval{}, err
+	}
+	train, test := full.SplitTrainTest(cfg.TrainFraction, cfg.MinRecords)
+	if train.NumUsers() < 2 {
+		return DatasetEval{}, fmt.Errorf("only %d active users after split", train.NumUsers())
+	}
+
+	atks := attack.Set{attack.NewAP()}
+	if !cfg.SingleAttack {
+		atks = attack.Set{attack.NewAP(), attack.NewPOIAttack(), attack.NewPIT()}
+	}
+	if err := attack.TrainAll(atks, train.Traces); err != nil {
+		return DatasetEval{}, err
+	}
+
+	hmc, err := lppm.NewHMC(0, train.Traces)
+	if err != nil {
+		return DatasetEval{}, err
+	}
+	geoi := lppm.NewGeoI()
+	trl := lppm.NewTRL()
+	// Distortion order HMC -> Geo-I -> TRL (paper §4.1.2).
+	portfolio := []lppm.Mechanism{hmc, geoi, trl}
+
+	de := DatasetEval{
+		Name:        name,
+		Location:    locations[name],
+		Users:       test.NumUsers(),
+		Records:     full.NumRecords(),
+		TestRecords: test.NumRecords(),
+		AttackHits:  make(map[string]int, len(atks)),
+	}
+	for _, tr := range test.Traces {
+		for _, a := range atks {
+			if v := a.Identify(tr); v.OK && v.User == tr.User {
+				de.AttackHits[a.Name()]++
+			}
+		}
+	}
+
+	protectors := []struct {
+		name string
+		p    core.Protector
+	}{
+		{StratNone, core.SingleLPPM{LPPM: lppm.Identity{}, Attacks: atks, Seed: cfg.Seed}},
+		{StratGeoI, core.SingleLPPM{LPPM: geoi, Attacks: atks, Seed: cfg.Seed}},
+		{StratTRL, core.SingleLPPM{LPPM: trl, Attacks: atks, Seed: cfg.Seed}},
+		{StratHMC, core.SingleLPPM{LPPM: hmc, Attacks: atks, Seed: cfg.Seed}},
+		{StratHybrid, core.Hybrid{LPPMs: portfolio, Attacks: atks, Seed: cfg.Seed}},
+		{StratMooD, &core.Engine{
+			LPPMs:   portfolio,
+			Attacks: atks,
+			Seed:    cfg.Seed,
+			Search:  cfg.Search,
+			Delta:   cfg.Delta,
+		}},
+	}
+
+	for _, pr := range protectors {
+		results, err := pr.p.ProtectDataset(test)
+		if err != nil {
+			return DatasetEval{}, fmt.Errorf("strategy %s: %w", pr.name, err)
+		}
+		de.Strategies = append(de.Strategies, summarise(pr.name, results))
+		if pr.name == StratMooD {
+			de.FineGrained = fineGrained(results)
+		}
+	}
+	return de, nil
+}
+
+func summarise(name string, results []core.Result) StrategyEval {
+	se := StrategyEval{
+		Strategy: name,
+		Bands:    make(map[metrics.Band]int),
+		Results:  results,
+	}
+	var lost, total int
+	for _, r := range results {
+		lost += r.LostRecords
+		total += r.TotalRecords
+		if r.FullyProtected() {
+			se.Bands[metrics.BandOf(r.MeanDistortion())]++
+		} else {
+			se.NonProtected++
+		}
+	}
+	if total > 0 {
+		se.DataLoss = float64(lost) / float64(total)
+	}
+	return se
+}
+
+// fineGrained extracts the Figure 8 bars: users whose MooD run needed
+// the fine-grained stage, labelled USER A, USER B, ... in user order.
+func fineGrained(results []core.Result) []FineGrainedUser {
+	var out []FineGrainedUser
+	for _, r := range results {
+		if !r.UsedFineGrained {
+			continue
+		}
+		fg := FineGrainedUser{User: r.User, SubTraces: len(r.Chunks)}
+		for _, c := range r.Chunks {
+			if c.Protected() {
+				fg.Protected++
+			}
+		}
+		out = append(out, fg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	for i := range out {
+		out[i].Label = "USER " + string(rune('A'+i%26))
+	}
+	return out
+}
+
+// OrphanUsers lists the users a strategy failed to protect, sorted.
+func OrphanUsers(se StrategyEval) []string {
+	var out []string
+	for _, r := range se.Results {
+		if !r.FullyProtected() {
+			out = append(out, r.User)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TrainTestSplit exposes the harness's split for external callers
+// (examples and the middleware server reuse it).
+func TrainTestSplit(d trace.Dataset, cfg Config) (train, test trace.Dataset) {
+	cfg = cfg.withDefaults()
+	return d.SplitTrainTest(cfg.TrainFraction, cfg.MinRecords)
+}

@@ -1,0 +1,215 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// lyon and paris anchor the known-distance tests.
+var (
+	lyon  = Point{Lat: 45.7640, Lon: 4.8357}
+	paris = Point{Lat: 48.8566, Lon: 2.3522}
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name     string
+		a, b     Point
+		wantKM   float64
+		tolerant float64 // relative tolerance
+	}{
+		{"lyon-paris", lyon, paris, 391.5, 0.01},
+		{"equator-degree", Point{0, 0}, Point{0, 1}, 111.19, 0.01},
+		{"meridian-degree", Point{0, 0}, Point{1, 0}, 111.19, 0.01},
+		{"same-point", lyon, lyon, 0, 0},
+		{"antipodal", Point{0, 0}, Point{0, 180}, math.Pi * EarthRadius / 1000, 0.001},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Haversine(tt.a, tt.b) / 1000
+			if tt.wantKM == 0 {
+				if got != 0 {
+					t.Fatalf("Haversine = %v km, want 0", got)
+				}
+				return
+			}
+			if rel := math.Abs(got-tt.wantKM) / tt.wantKM; rel > tt.tolerant {
+				t.Fatalf("Haversine = %v km, want %v km (rel err %v)", got, tt.wantKM, rel)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: math.Mod(lat1, 80), Lon: math.Mod(lon1, 180)}
+		b := Point{Lat: math.Mod(lat2, 80), Lon: math.Mod(lon2, 180)}
+		d1 := Haversine(a, b)
+		d2 := Haversine(b, a)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastDistanceMatchesHaversineAtCityScale(t *testing.T) {
+	// Points within ~20 km of Lyon: the equirectangular error must stay
+	// below 0.2 %.
+	offsets := []struct{ dx, dy float64 }{
+		{100, 0}, {0, 100}, {5000, 5000}, {-12000, 3000}, {20000, -20000},
+	}
+	for _, o := range offsets {
+		p := Offset(lyon, o.dx, o.dy)
+		h := Haversine(lyon, p)
+		f := FastDistance(lyon, p)
+		if h == 0 {
+			continue
+		}
+		if rel := math.Abs(h-f) / h; rel > 0.002 {
+			t.Errorf("offset (%v,%v): haversine %v fast %v rel %v", o.dx, o.dy, h, f, rel)
+		}
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	for _, dist := range []float64{10, 500, 5000, 50000} {
+		for _, bearing := range []float64{0, 45, 90, 180, 270, 359} {
+			q := Destination(lyon, bearing, dist)
+			got := Haversine(lyon, q)
+			if math.Abs(got-dist) > 0.001*dist+0.01 {
+				t.Errorf("Destination(%v m, %v deg): distance back %v", dist, bearing, got)
+			}
+		}
+	}
+}
+
+func TestDestinationBearing(t *testing.T) {
+	q := Destination(lyon, 90, 10000)
+	br := InitialBearing(lyon, q)
+	if math.Abs(br-90) > 0.5 {
+		t.Fatalf("bearing = %v, want ~90", br)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	mid := Interpolate(lyon, paris, 0.5)
+	dl := Haversine(lyon, mid)
+	dp := Haversine(mid, paris)
+	if math.Abs(dl-dp) > 0.005*(dl+dp) { // linear interpolation: symmetric to ~0.5 % at this range
+		t.Fatalf("midpoint not symmetric: %v vs %v", dl, dp)
+	}
+	if got := Interpolate(lyon, paris, 0); got != lyon {
+		t.Fatalf("f=0 should return start, got %v", got)
+	}
+	if got := Interpolate(lyon, paris, 1); got != paris {
+		t.Fatalf("f=1 should return end, got %v", got)
+	}
+	if got := Interpolate(lyon, paris, -3); got != lyon {
+		t.Fatalf("f<0 should clamp to start, got %v", got)
+	}
+}
+
+func TestProjectorRoundTrip(t *testing.T) {
+	pr := NewProjector(lyon)
+	f := func(dx, dy float64) bool {
+		dx = math.Mod(dx, 30000)
+		dy = math.Mod(dy, 30000)
+		p := Offset(lyon, dx, dy)
+		x, y := pr.ToXY(p)
+		back := pr.ToPoint(x, y)
+		return Haversine(p, back) < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectorDistancePreservation(t *testing.T) {
+	pr := NewProjector(lyon)
+	p := Offset(lyon, 3000, -4000)
+	x, y := pr.ToXY(p)
+	planar := math.Hypot(x, y)
+	sphere := Haversine(lyon, p)
+	if rel := math.Abs(planar-sphere) / sphere; rel > 0.005 {
+		t.Fatalf("projection distorts distance: planar %v sphere %v", planar, sphere)
+	}
+}
+
+func TestOffsetMagnitude(t *testing.T) {
+	p := Offset(lyon, 1000, 0)
+	if d := Haversine(lyon, p); math.Abs(d-1000) > 5 {
+		t.Fatalf("Offset east 1000m -> distance %v", d)
+	}
+	p = Offset(lyon, 0, -2500)
+	if d := Haversine(lyon, p); math.Abs(d-2500) > 5 {
+		t.Fatalf("Offset south 2500m -> distance %v", d)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := EmptyBBox()
+	if !b.Empty() {
+		t.Fatal("EmptyBBox not empty")
+	}
+	b = b.Extend(lyon)
+	b = b.Extend(paris)
+	if b.Empty() {
+		t.Fatal("extended box empty")
+	}
+	if !b.Contains(lyon) || !b.Contains(paris) {
+		t.Fatal("box must contain its defining points")
+	}
+	mid := Interpolate(lyon, paris, 0.5)
+	if !b.Contains(mid) {
+		t.Fatal("box must contain midpoint")
+	}
+	if b.Contains(Point{Lat: 0, Lon: 0}) {
+		t.Fatal("box must not contain origin")
+	}
+	c := b.Center()
+	if c.Lat < b.MinLat || c.Lat > b.MaxLat {
+		t.Fatal("center outside box")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); got != (Point{}) {
+		t.Fatalf("empty centroid = %v", got)
+	}
+	pts := []Point{{Lat: 1, Lon: 1}, {Lat: 3, Lon: 5}}
+	got := Centroid(pts)
+	if got.Lat != 2 || got.Lon != 3 {
+		t.Fatalf("centroid = %v", got)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter(nil); d != 0 {
+		t.Fatalf("empty diameter = %v", d)
+	}
+	pts := []Point{lyon, Offset(lyon, 100, 0), Offset(lyon, 0, 50)}
+	d := Diameter(pts)
+	if math.Abs(d-111.8) > 2 { // hypot(100,50)
+		t.Fatalf("diameter = %v, want ~111.8", d)
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{lyon, true},
+		{Point{Lat: 91, Lon: 0}, false},
+		{Point{Lat: 0, Lon: -181}, false},
+		{Point{Lat: math.NaN(), Lon: 0}, false},
+		{Point{Lat: -90, Lon: 180}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Valid(); got != tt.want {
+			t.Errorf("Valid(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package heatmap aggregates mobility traces into spatial histograms
+// over a fixed grid — the mobility-profile model of the AP-attack [22]
+// and the substrate of the HMC protection mechanism [23].
+//
+// A heatmap counts the records of a trace per grid cell; normalising the
+// counts yields a probability distribution over cells that can be
+// compared with information-theoretic divergences.
+package heatmap
+
+import (
+	"sort"
+
+	"mood/internal/geo"
+	"mood/internal/mathx"
+	"mood/internal/trace"
+)
+
+// DefaultCellSize is the paper's AP-attack / HMC cell size (800 m).
+const DefaultCellSize = 800.0
+
+// Heatmap is a sparse record-count histogram over grid cells.
+type Heatmap struct {
+	grid   *geo.Grid
+	counts map[geo.Cell]float64
+	total  float64
+}
+
+// New returns an empty heatmap over the given grid.
+func New(grid *geo.Grid) *Heatmap {
+	return &Heatmap{grid: grid, counts: make(map[geo.Cell]float64)}
+}
+
+// FromTrace builds the heatmap of t on grid.
+func FromTrace(grid *geo.Grid, t trace.Trace) *Heatmap {
+	h := New(grid)
+	for _, r := range t.Records {
+		h.Add(r.Point(), 1)
+	}
+	return h
+}
+
+// Grid returns the underlying grid.
+func (h *Heatmap) Grid() *geo.Grid { return h.grid }
+
+// Add accumulates weight w at point p.
+func (h *Heatmap) Add(p geo.Point, w float64) {
+	h.counts[h.grid.CellOf(p)] += w
+	h.total += w
+}
+
+// AddCell accumulates weight w in cell c directly.
+func (h *Heatmap) AddCell(c geo.Cell, w float64) {
+	h.counts[c] += w
+	h.total += w
+}
+
+// Total returns the accumulated weight.
+func (h *Heatmap) Total() float64 { return h.total }
+
+// Cells returns the number of non-empty cells.
+func (h *Heatmap) Cells() int { return len(h.counts) }
+
+// Count returns the weight in cell c.
+func (h *Heatmap) Count(c geo.Cell) float64 { return h.counts[c] }
+
+// Prob returns the normalised probability mass of cell c.
+func (h *Heatmap) Prob(c geo.Cell) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.counts[c] / h.total
+}
+
+// CellWeight pairs a cell with its weight; TopCells returns these.
+type CellWeight struct {
+	Cell   geo.Cell
+	Weight float64
+}
+
+// TopCells returns up to k cells by descending weight (all cells when
+// k <= 0), with deterministic tie-breaking on cell coordinates.
+func (h *Heatmap) TopCells(k int) []CellWeight {
+	out := make([]CellWeight, 0, len(h.counts))
+	for c, w := range h.counts {
+		out = append(out, CellWeight{Cell: c, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].Cell.X != out[j].Cell.X {
+			return out[i].Cell.X < out[j].Cell.X
+		}
+		return out[i].Cell.Y < out[j].Cell.Y
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Topsoe returns the Topsoe divergence between the normalised
+// distributions of h and o. The comparison aligns the sparse supports of
+// both maps; cells absent from one side contribute as zero-probability
+// mass, which Topsoe handles with finite values. Both heatmaps must use
+// grids of the same geometry for the result to be meaningful.
+//
+// The union support is walked in sorted cell order so the float
+// summation order — and therefore the exact result — is reproducible;
+// HMC's target selection and the AP-attack's argmin depend on that.
+func (h *Heatmap) Topsoe(o *Heatmap) float64 {
+	p, q := Distributions(h, o)
+	return mathx.Topsoe(p, q)
+}
+
+// Distributions materialises the aligned probability vectors of h and o
+// over their union support, ordered deterministically. Used by tests and
+// by callers that need the raw vectors.
+func Distributions(h, o *Heatmap) (p, q []float64) {
+	cells := make([]geo.Cell, 0, len(h.counts)+len(o.counts))
+	seen := make(map[geo.Cell]struct{}, len(h.counts)+len(o.counts))
+	collect := func(m map[geo.Cell]float64) {
+		for c := range m {
+			if _, ok := seen[c]; !ok {
+				seen[c] = struct{}{}
+				cells = append(cells, c)
+			}
+		}
+	}
+	collect(h.counts)
+	collect(o.counts)
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].X != cells[j].X {
+			return cells[i].X < cells[j].X
+		}
+		return cells[i].Y < cells[j].Y
+	})
+	p = make([]float64, len(cells))
+	q = make([]float64, len(cells))
+	for i, c := range cells {
+		p[i] = h.Prob(c)
+		q[i] = o.Prob(c)
+	}
+	return p, q
+}
+
+// Clone returns a deep copy of the heatmap.
+func (h *Heatmap) Clone() *Heatmap {
+	c := &Heatmap{grid: h.grid, counts: make(map[geo.Cell]float64, len(h.counts)), total: h.total}
+	for k, v := range h.counts {
+		c.counts[k] = v
+	}
+	return c
+}

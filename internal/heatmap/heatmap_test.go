@@ -1,0 +1,170 @@
+package heatmap
+
+import (
+	"math"
+	"testing"
+
+	"mood/internal/geo"
+	"mood/internal/mathx"
+	"mood/internal/trace"
+)
+
+var origin = geo.Point{Lat: 45.7640, Lon: 4.8357}
+
+func grid() *geo.Grid { return geo.NewGrid(origin, DefaultCellSize) }
+
+func clusteredTrace(user string, center geo.Point, n int) trace.Trace {
+	rs := make([]trace.Record, n)
+	for i := range rs {
+		rs[i] = trace.At(geo.Offset(center, float64(i%5)*30, float64(i%7)*30), int64(i*60))
+	}
+	return trace.New(user, rs)
+}
+
+func TestFromTraceCounts(t *testing.T) {
+	g := grid()
+	tr := clusteredTrace("u", origin, 50)
+	h := FromTrace(g, tr)
+	if h.Total() != 50 {
+		t.Fatalf("Total = %v, want 50", h.Total())
+	}
+	if h.Cells() == 0 {
+		t.Fatal("no cells populated")
+	}
+	// All records are within ~200 m of origin, so at most 4 cells
+	// (straddling at worst a corner).
+	if h.Cells() > 4 {
+		t.Fatalf("tight cluster landed in %d cells", h.Cells())
+	}
+}
+
+func TestProbNormalisation(t *testing.T) {
+	g := grid()
+	h := FromTrace(g, clusteredTrace("u", origin, 97))
+	var sum float64
+	for _, cw := range h.TopCells(0) {
+		sum += h.Prob(cw.Cell)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestEmptyHeatmapProb(t *testing.T) {
+	h := New(grid())
+	if p := h.Prob(geo.Cell{}); p != 0 {
+		t.Fatalf("empty heatmap prob = %v", p)
+	}
+	if h.Total() != 0 || h.Cells() != 0 {
+		t.Fatal("empty heatmap not empty")
+	}
+}
+
+func TestTopCellsOrdering(t *testing.T) {
+	h := New(grid())
+	h.AddCell(geo.Cell{X: 0, Y: 0}, 5)
+	h.AddCell(geo.Cell{X: 1, Y: 0}, 10)
+	h.AddCell(geo.Cell{X: 2, Y: 0}, 1)
+	top := h.TopCells(2)
+	if len(top) != 2 {
+		t.Fatalf("TopCells(2) returned %d", len(top))
+	}
+	if top[0].Cell.X != 1 || top[1].Cell.X != 0 {
+		t.Fatalf("wrong order: %v", top)
+	}
+	all := h.TopCells(0)
+	if len(all) != 3 {
+		t.Fatalf("TopCells(0) returned %d", len(all))
+	}
+}
+
+func TestTopCellsDeterministicTies(t *testing.T) {
+	build := func() []CellWeight {
+		h := New(grid())
+		h.AddCell(geo.Cell{X: 3, Y: 1}, 2)
+		h.AddCell(geo.Cell{X: 1, Y: 2}, 2)
+		h.AddCell(geo.Cell{X: 2, Y: 0}, 2)
+		return h.TopCells(0)
+	}
+	a := build()
+	b := build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie-breaking is not deterministic")
+		}
+	}
+}
+
+func TestTopsoeIdenticalAndDisjoint(t *testing.T) {
+	g := grid()
+	u := FromTrace(g, clusteredTrace("u", origin, 60))
+	if d := u.Topsoe(u); d != 0 {
+		t.Fatalf("self divergence = %v", d)
+	}
+	far := FromTrace(g, clusteredTrace("v", geo.Offset(origin, 50000, 50000), 60))
+	d := u.Topsoe(far)
+	if math.Abs(d-2*math.Ln2) > 1e-9 {
+		t.Fatalf("disjoint divergence = %v, want 2ln2", d)
+	}
+}
+
+func TestTopsoeDiscriminates(t *testing.T) {
+	g := grid()
+	u := FromTrace(g, clusteredTrace("u", origin, 60))
+	near := FromTrace(g, clusteredTrace("n", geo.Offset(origin, 200, 0), 60))
+	far := FromTrace(g, clusteredTrace("f", geo.Offset(origin, 10000, 0), 60))
+	if u.Topsoe(near) >= u.Topsoe(far) {
+		t.Fatalf("overlapping profile should be closer: near %v, far %v",
+			u.Topsoe(near), u.Topsoe(far))
+	}
+}
+
+func TestDistributionsAligned(t *testing.T) {
+	g := grid()
+	a := FromTrace(g, clusteredTrace("a", origin, 30))
+	b := FromTrace(g, clusteredTrace("b", geo.Offset(origin, 1600, 0), 30))
+	p, q := Distributions(a, b)
+	if len(p) != len(q) {
+		t.Fatal("misaligned distributions")
+	}
+	sum := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if math.Abs(sum(p)-1) > 1e-12 || math.Abs(sum(q)-1) > 1e-12 {
+		t.Fatalf("distributions not normalised: %v, %v", sum(p), sum(q))
+	}
+	// Topsoe via Distributions must match Heatmap.Topsoe.
+	if d1, d2 := mathx.Topsoe(p, q), a.Topsoe(b); math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("Topsoe mismatch: %v vs %v", d1, d2)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := New(grid())
+	h.AddCell(geo.Cell{X: 1, Y: 1}, 3)
+	c := h.Clone()
+	c.AddCell(geo.Cell{X: 1, Y: 1}, 5)
+	if h.Count(geo.Cell{X: 1, Y: 1}) != 3 {
+		t.Fatal("clone shares storage")
+	}
+	if c.Total() != 8 || h.Total() != 3 {
+		t.Fatalf("totals wrong: clone %v, orig %v", c.Total(), h.Total())
+	}
+}
+
+func TestAddWeighted(t *testing.T) {
+	h := New(grid())
+	h.Add(origin, 2.5)
+	h.Add(origin, 0.5)
+	c := h.Grid().CellOf(origin)
+	if h.Count(c) != 3 {
+		t.Fatalf("count = %v", h.Count(c))
+	}
+	if h.Prob(c) != 1 {
+		t.Fatalf("prob = %v", h.Prob(c))
+	}
+}

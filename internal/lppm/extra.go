@@ -1,0 +1,96 @@
+package lppm
+
+import (
+	"fmt"
+
+	"mood/internal/geo"
+	"mood/internal/mathx"
+	"mood/internal/trace"
+)
+
+// Cloak generalises locations by snapping each record to the center of
+// its grid cell — a spatial-cloaking mechanism in the k-anonymity
+// tradition [31]. It is not part of the paper's evaluated trio; the
+// ablation benchmarks use it to study how MooD behaves with a larger
+// LPPM portfolio (paper §6, "MooD can be extended by using
+// state-of-the-art LPPMs").
+type Cloak struct {
+	// CellSize is the generalisation granularity in meters.
+	CellSize float64
+	// Origin anchors the cloaking grid; zero value means the first
+	// record of each trace (per-trace grids are fine for cloaking).
+	Origin geo.Point
+}
+
+var _ Mechanism = Cloak{}
+
+// NewCloak returns a cloak with 500 m cells.
+func NewCloak() Cloak { return Cloak{CellSize: 500} }
+
+// Name implements Mechanism.
+func (Cloak) Name() string { return "Cloak" }
+
+// Obfuscate implements Mechanism.
+func (c Cloak) Obfuscate(_ *mathx.Rand, t trace.Trace) (trace.Trace, error) {
+	if t.Empty() {
+		return trace.Trace{}, ErrEmptyTrace
+	}
+	size := c.CellSize
+	if size <= 0 {
+		return trace.Trace{}, fmt.Errorf("lppm: Cloak cell size %v must be positive", size)
+	}
+	origin := c.Origin
+	if origin == (geo.Point{}) {
+		origin = t.Records[0].Point()
+	}
+	grid := geo.NewGrid(origin, size)
+	out := make([]trace.Record, len(t.Records))
+	for i, r := range t.Records {
+		out[i] = trace.At(grid.Center(grid.CellOf(r.Point())), r.TS)
+	}
+	return trace.Trace{User: t.User, Records: out}, nil
+}
+
+// TimeDistortion smooths the temporal dimension of a trace in the spirit
+// of Promesse [28]: positions are kept but timestamps are re-spaced so
+// the user appears to move at constant speed along the path. Dwell
+// durations — the signal POI extraction keys on — disappear. Also an
+// extension mechanism for the ablation benchmarks.
+type TimeDistortion struct{}
+
+var _ Mechanism = TimeDistortion{}
+
+// Name implements Mechanism.
+func (TimeDistortion) Name() string { return "TimeDist" }
+
+// Obfuscate implements Mechanism.
+func (TimeDistortion) Obfuscate(_ *mathx.Rand, t trace.Trace) (trace.Trace, error) {
+	if t.Empty() {
+		return trace.Trace{}, ErrEmptyTrace
+	}
+	n := t.Len()
+	out := make([]trace.Record, n)
+	if n == 1 {
+		out[0] = t.Records[0]
+		return trace.Trace{User: t.User, Records: out}, nil
+	}
+	total := t.PathLength()
+	span := float64(t.End() - t.Start())
+	start := t.Start()
+	var acc float64
+	for i, r := range t.Records {
+		if i > 0 {
+			acc += geo.FastDistance(t.Records[i-1].Point(), r.Point())
+		}
+		var frac float64
+		if total > 0 {
+			frac = acc / total
+		} else {
+			frac = float64(i) / float64(n-1)
+		}
+		out[i] = trace.At(r.Point(), start+int64(frac*span))
+	}
+	tr := trace.Trace{User: t.User, Records: out}
+	tr.SortInPlace()
+	return tr, nil
+}

@@ -1,0 +1,112 @@
+package lppm
+
+import (
+	"testing"
+	"time"
+
+	"mood/internal/geo"
+	"mood/internal/poi"
+	"mood/internal/trace"
+)
+
+func TestCloakSnapsToCellCenters(t *testing.T) {
+	in := walkTrace("u")
+	c := NewCloak()
+	out, err := c.Obfuscate(rng(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != in.Len() {
+		t.Fatal("record count changed")
+	}
+	// Snapped points take few distinct values.
+	distinct := map[geo.Point]bool{}
+	for _, r := range out.Records {
+		distinct[r.Point()] = true
+	}
+	if len(distinct) >= in.Len() {
+		t.Fatalf("cloaking produced %d distinct points out of %d records", len(distinct), in.Len())
+	}
+	// Displacement bounded by half the cell diagonal.
+	for i := range in.Records {
+		if d := geo.Haversine(in.Records[i].Point(), out.Records[i].Point()); d > c.CellSize {
+			t.Fatalf("cloak moved a point %v m", d)
+		}
+	}
+}
+
+func TestCloakErrors(t *testing.T) {
+	if _, err := NewCloak().Obfuscate(rng(), trace.Trace{}); err == nil {
+		t.Fatal("empty trace must error")
+	}
+	if _, err := (Cloak{CellSize: -5}).Obfuscate(rng(), walkTrace("u")); err == nil {
+		t.Fatal("negative cell size must error")
+	}
+}
+
+func TestTimeDistortionRemovesDwells(t *testing.T) {
+	// Build a trace with a long dwell: POI extraction finds it before
+	// TimeDistortion and not after.
+	var rs []trace.Record
+	ts := int64(0)
+	for i := 0; i < 30; i++ { // 2.5h dwell at origin
+		rs = append(rs, trace.At(geo.Offset(origin, float64(i%3)*10, 0), ts))
+		ts += 300
+	}
+	for i := 0; i < 30; i++ { // then a walk
+		rs = append(rs, trace.At(geo.Offset(origin, float64(i)*200, 0), ts))
+		ts += 300
+	}
+	in := trace.New("u", rs)
+
+	e := poi.Extractor{MaxDiameter: 200, MinDwell: time.Hour, MergeDist: 100}
+	if len(e.Extract(in)) == 0 {
+		t.Fatal("test setup: original trace must have a POI")
+	}
+	out, err := TimeDistortion{}.Obfuscate(rng(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Extract(out)); got != 0 {
+		t.Fatalf("POIs after time distortion = %d, want 0", got)
+	}
+}
+
+func TestTimeDistortionPreservesSpaceAndSpan(t *testing.T) {
+	in := walkTrace("u")
+	out, err := TimeDistortion{}.Obfuscate(rng(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != in.Len() {
+		t.Fatal("record count changed")
+	}
+	if out.Start() != in.Start() || out.End() != in.End() {
+		t.Fatalf("time span changed: [%d,%d] -> [%d,%d]", in.Start(), in.End(), out.Start(), out.End())
+	}
+	for i := range in.Records {
+		if out.Records[i].Lat != in.Records[i].Lat || out.Records[i].Lon != in.Records[i].Lon {
+			t.Fatal("positions must be preserved")
+		}
+	}
+	if !out.Sorted() {
+		t.Fatal("output must be sorted")
+	}
+}
+
+func TestTimeDistortionSingleRecord(t *testing.T) {
+	in := trace.New("u", []trace.Record{trace.At(origin, 42)})
+	out, err := TimeDistortion{}.Obfuscate(rng(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Records[0].TS != 42 {
+		t.Fatalf("single-record handling wrong: %v", out.Records)
+	}
+}
+
+func TestTimeDistortionEmpty(t *testing.T) {
+	if _, err := (TimeDistortion{}).Obfuscate(rng(), trace.Trace{}); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}

@@ -1,0 +1,273 @@
+package lppm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mood/internal/geo"
+	"mood/internal/heatmap"
+	"mood/internal/mathx"
+	"mood/internal/trace"
+)
+
+// HMC implements HeatMap Confusion [23]: the mobility trace is
+// re-expressed as a heatmap, the heatmap is altered to resemble the
+// heatmap of *another* user drawn from background knowledge, and the
+// altered heatmap is transformed back into a trace.
+//
+// Concretely, the mechanism matches every cell of the source heatmap to
+// a cell of the chosen target profile (greedy, by descending source
+// weight, nearest target cell first, each target cell used once while
+// available) and translates each record into its matched cell while
+// preserving the record's in-cell offset and timestamp. The result keeps
+// the temporal rhythm and fine motion of the original trace but its
+// spatial support is the target user's — which is what confuses
+// profile-matching attacks.
+//
+// The translation is deliberately lossy, like the original's
+// heatmap-to-trace reconstruction: cells are translated in descending
+// weight order until either the Cover fraction of the record mass or the
+// MaxCells cell budget is reached; the remaining tail stays in place.
+// Users whose mobility concentrates in a few places are imitated almost
+// perfectly, while users with diffuse, distinctive mobility (couriers,
+// tight-zone taxis) leave a residual footprint — exactly the users HMC
+// fails to protect in the paper's Figure 7.
+//
+// HMC needs background knowledge; build it with NewHMC before use.
+type HMC struct {
+	grid     *geo.Grid
+	cover    float64
+	maxCells int
+	profiles []hmcProfile
+}
+
+// DefaultHMCCover is the default translated mass fraction.
+const DefaultHMCCover = 0.9
+
+// DefaultHMCMaxCells is the default translated-cell budget, modelling
+// the alignment cost of the original mechanism's heatmap optimisation.
+const DefaultHMCMaxCells = 24
+
+type hmcProfile struct {
+	user  string
+	hm    *heatmap.Heatmap
+	cells []heatmap.CellWeight // descending weight
+}
+
+var _ Mechanism = (*HMC)(nil)
+
+// NewHMC builds the mechanism from background traces (the attacker-side
+// knowledge H of the paper's system model). cellSize <= 0 selects the
+// paper's 800 m.
+func NewHMC(cellSize float64, background []trace.Trace) (*HMC, error) {
+	if len(background) == 0 {
+		return nil, fmt.Errorf("lppm: HMC needs background traces")
+	}
+	if cellSize <= 0 {
+		cellSize = heatmap.DefaultCellSize
+	}
+	// Anchor the grid at the centroid of the background bounding boxes
+	// so every profile shares cell geometry.
+	box := geo.EmptyBBox()
+	for _, t := range background {
+		b := t.BBox()
+		if !b.Empty() {
+			box = box.Extend(b.Center())
+		}
+	}
+	if box.Empty() {
+		return nil, fmt.Errorf("lppm: HMC background has no records")
+	}
+	grid := geo.NewGrid(box.Center(), cellSize)
+	h := &HMC{grid: grid, cover: DefaultHMCCover, maxCells: DefaultHMCMaxCells}
+	for _, t := range background {
+		if t.Empty() {
+			continue
+		}
+		hm := heatmap.FromTrace(grid, t)
+		h.profiles = append(h.profiles, hmcProfile{
+			user:  t.User,
+			hm:    hm,
+			cells: hm.TopCells(0),
+		})
+	}
+	if len(h.profiles) < 2 {
+		return nil, fmt.Errorf("lppm: HMC needs at least two background users, got %d", len(h.profiles))
+	}
+	return h, nil
+}
+
+// Grid exposes the cell geometry (tests and the eval harness use it).
+func (h *HMC) Grid() *geo.Grid { return h.grid }
+
+// SetCover overrides the translated mass fraction (clamped to (0, 1]).
+// Lower cover means a lossier, weaker mechanism; 1 translates every
+// cell. Exposed for the ablation benchmarks.
+func (h *HMC) SetCover(c float64) {
+	if c <= 0 || c > 1 {
+		c = DefaultHMCCover
+	}
+	h.cover = c
+}
+
+// SetMaxCells overrides the translated-cell budget (values < 1 restore
+// the default). Exposed for the ablation benchmarks.
+func (h *HMC) SetMaxCells(n int) {
+	if n < 1 {
+		n = DefaultHMCMaxCells
+	}
+	h.maxCells = n
+}
+
+// Name implements Mechanism.
+func (*HMC) Name() string { return "HMC" }
+
+// Obfuscate implements Mechanism.
+func (h *HMC) Obfuscate(_ *mathx.Rand, t trace.Trace) (trace.Trace, error) {
+	if t.Empty() {
+		return trace.Trace{}, ErrEmptyTrace
+	}
+	src := heatmap.FromTrace(h.grid, t)
+	target := h.pickTarget(t.User, src)
+	if target == nil {
+		return trace.Trace{}, fmt.Errorf("lppm: HMC found no target profile for user %q", t.User)
+	}
+	mapping := h.matchCells(src, target)
+
+	out := make([]trace.Record, len(t.Records))
+	for i, r := range t.Records {
+		p := r.Point()
+		c := h.grid.CellOf(p)
+		dst, ok := mapping[c]
+		if !ok {
+			// Cells can be missing only if the trace changed between
+			// heatmap construction and translation, which would be a
+			// bug; fall back to identity to stay total.
+			dst = c
+		}
+		fx, fy := h.grid.Offsets(p)
+		out[i] = trace.At(h.grid.PointIn(dst, fx, fy), r.TS)
+	}
+	return trace.Trace{User: t.User, Records: out}, nil
+}
+
+// pickTarget returns the background profile most similar to src that
+// does not belong to the same user.
+func (h *HMC) pickTarget(user string, src *heatmap.Heatmap) *hmcProfile {
+	var best *hmcProfile
+	bestD := math.Inf(1)
+	for i := range h.profiles {
+		p := &h.profiles[i]
+		if p.user == user {
+			continue
+		}
+		if d := src.Topsoe(p.hm); d < bestD {
+			bestD = d
+			best = p
+		}
+	}
+	return best
+}
+
+// hmcRankMatched is the number of head cells matched by weight rank.
+// The head of a mobility heatmap holds the discriminative places (home,
+// work); sending the source's rank-i place to the target's rank-i place
+// is what actually confuses profile-matching attacks. The tail (transit
+// cells) is matched to the nearest target cell instead, which preserves
+// utility.
+const hmcRankMatched = 6
+
+// matchCells assigns source cells to target cells: the heaviest
+// hmcRankMatched source cells are rank-matched against the target's
+// heaviest cells; further cells take the geographically nearest target
+// cell (consuming unused target cells first, then reusing the nearest) —
+// but only until the translated cells cover the Cover fraction of the
+// source's record mass. The remaining tail maps to itself, modelling the
+// reconstruction loss of the original mechanism. Deterministic by
+// construction.
+func (h *HMC) matchCells(src *heatmap.Heatmap, target *hmcProfile) map[geo.Cell]geo.Cell {
+	srcCells := src.TopCells(0)
+	tgt := target.cells
+	used := make(map[geo.Cell]bool, len(tgt))
+	mapping := make(map[geo.Cell]geo.Cell, len(srcCells))
+	remaining := len(tgt)
+	total := src.Total()
+
+	take := func(c geo.Cell) {
+		if !used[c] {
+			used[c] = true
+			remaining--
+		}
+	}
+
+	head := hmcRankMatched
+	if head > len(srcCells) {
+		head = len(srcCells)
+	}
+	if head > len(tgt) {
+		head = len(tgt)
+	}
+	var covered float64
+	translated := 0
+	for i := 0; i < head; i++ {
+		mapping[srcCells[i].Cell] = tgt[i].Cell
+		covered += srcCells[i].Weight
+		translated++
+		take(tgt[i].Cell)
+	}
+
+	for _, sc := range srcCells[head:] {
+		if (total > 0 && covered/total >= h.cover) || translated >= h.maxCells {
+			// Reconstruction budget exhausted: the tail stays put.
+			mapping[sc.Cell] = sc.Cell
+			continue
+		}
+		bestIdx := -1
+		bestD := math.Inf(1)
+		for i, tc := range tgt {
+			if remaining > 0 && used[tc.Cell] {
+				continue
+			}
+			d := h.grid.CellDistance(sc.Cell, tc.Cell)
+			if d < bestD {
+				bestD = d
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			mapping[sc.Cell] = sc.Cell
+			continue
+		}
+		chosen := tgt[bestIdx].Cell
+		mapping[sc.Cell] = chosen
+		covered += sc.Weight
+		translated++
+		take(chosen)
+	}
+	return mapping
+}
+
+// TargetOf reports which background user's heatmap would be imitated for
+// the given trace. The evaluation harness uses it for diagnostics.
+func (h *HMC) TargetOf(t trace.Trace) (string, bool) {
+	if t.Empty() {
+		return "", false
+	}
+	src := heatmap.FromTrace(h.grid, t)
+	p := h.pickTarget(t.User, src)
+	if p == nil {
+		return "", false
+	}
+	return p.user, true
+}
+
+// Users lists the background users the mechanism can imitate, sorted.
+func (h *HMC) Users() []string {
+	out := make([]string, len(h.profiles))
+	for i, p := range h.profiles {
+		out[i] = p.user
+	}
+	sort.Strings(out)
+	return out
+}

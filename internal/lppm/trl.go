@@ -1,0 +1,61 @@
+package lppm
+
+import (
+	"fmt"
+
+	"mood/internal/geo"
+	"mood/internal/mathx"
+	"mood/internal/trace"
+)
+
+// DefaultTRLRadius is the paper's TRL range r (1 km).
+const DefaultTRLRadius = 1000.0
+
+// TRL implements the Trilateration mechanism [18]: every real location
+// is replaced by NumAssisted "assisted locations" drawn in a range of
+// Radius meters around it. In the LSS scenario the provider only ever
+// sees the assisted locations; for dataset publication the obfuscated
+// trace therefore contains the assisted locations (same timestamp as the
+// real record they replace) and never the real one.
+type TRL struct {
+	// Radius is the range r within which assisted locations are drawn.
+	Radius float64
+	// NumAssisted is the number of assisted locations per record
+	// (3 in the paper, the minimum for trilateration).
+	NumAssisted int
+}
+
+var _ Mechanism = TRL{}
+
+// NewTRL returns TRL with the paper's parameters (r = 1 km, 3 points).
+func NewTRL() TRL { return TRL{Radius: DefaultTRLRadius, NumAssisted: 3} }
+
+// Name implements Mechanism.
+func (TRL) Name() string { return "TRL" }
+
+// Obfuscate implements Mechanism.
+func (t TRL) Obfuscate(rng *mathx.Rand, tr trace.Trace) (trace.Trace, error) {
+	if tr.Empty() {
+		return trace.Trace{}, ErrEmptyTrace
+	}
+	if t.Radius <= 0 {
+		return trace.Trace{}, fmt.Errorf("lppm: TRL radius %v must be positive", t.Radius)
+	}
+	n := t.NumAssisted
+	if n <= 0 {
+		n = 3
+	}
+	out := make([]trace.Record, 0, len(tr.Records)*n)
+	for _, r := range tr.Records {
+		for k := 0; k < n; k++ {
+			// "In a range of r": distances concentrate toward r so the
+			// intersection geometry stays well-conditioned (the three
+			// circles must not collapse onto the target).
+			dist := t.Radius * (0.5 + 0.5*rng.Float64())
+			bearing := rng.Float64() * 360
+			p := geo.Destination(r.Point(), bearing, dist)
+			out = append(out, trace.At(p, r.TS))
+		}
+	}
+	return trace.Trace{User: tr.User, Records: out}, nil
+}

@@ -1,0 +1,213 @@
+// Package mathx collects the numerical routines MooD needs beyond the
+// standard library: the Lambert W function (used by the planar-Laplace
+// sampler of Geo-Indistinguishability), information-theoretic divergences
+// (used by the AP-attack and HMC), summary statistics and deterministic
+// random-stream derivation.
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// lambertTol is the convergence tolerance of the Halley iterations.
+const lambertTol = 1e-12
+
+// LambertW0 evaluates the principal branch W0(x) for x >= -1/e.
+// It returns NaN outside the domain.
+func LambertW0(x float64) float64 {
+	if x < -1/math.E {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	// Initial guess: series near the branch point, log asymptote for
+	// large x, and x itself near zero.
+	var w float64
+	switch {
+	case x < -0.25:
+		p := math.Sqrt(2 * (math.E*x + 1))
+		w = -1 + p - p*p/3
+	case x < 1:
+		w = x * (1 - x + 1.5*x*x) // truncated series of W0 around 0
+	default:
+		l1 := math.Log(x)
+		l2 := math.Log(l1)
+		w = l1 - l2 + l2/l1
+	}
+	return halley(x, w)
+}
+
+// LambertWm1 evaluates the secondary real branch W-1(x) for
+// x in [-1/e, 0). It returns NaN outside the domain.
+//
+// The Geo-I inverse CDF uses this branch:
+//
+//	r = -(1/eps) * (W-1((p-1)/e) + 1)
+func LambertWm1(x float64) float64 {
+	if x < -1/math.E || x >= 0 {
+		return math.NaN()
+	}
+	// Initial guess. Near the branch point use the square-root series;
+	// toward 0- use the asymptotic log expansion.
+	var w float64
+	if x < -0.1 {
+		p := -math.Sqrt(2 * (math.E*x + 1))
+		w = -1 + p - p*p/3
+	} else {
+		l1 := math.Log(-x)
+		l2 := math.Log(-l1)
+		w = l1 - l2 + l2/l1
+	}
+	return halley(x, w)
+}
+
+// halley refines w so that w*exp(w) = x using Halley's method.
+func halley(x, w float64) float64 {
+	for i := 0; i < 64; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		if f == 0 {
+			return w
+		}
+		wp1 := w + 1
+		denom := ew*wp1 - (w+2)*f/(2*wp1)
+		dw := f / denom
+		w -= dw
+		if math.Abs(dw) <= lambertTol*(1+math.Abs(w)) {
+			return w
+		}
+	}
+	return w
+}
+
+// KL returns the Kullback-Leibler divergence D(p||q) in nats between two
+// discrete distributions given as aligned slices. Terms with p[i] == 0
+// contribute zero; terms with q[i] == 0 and p[i] > 0 contribute +Inf.
+func KL(p, q []float64) float64 {
+	var d float64
+	for i := range p {
+		if p[i] <= 0 {
+			continue
+		}
+		if i >= len(q) || q[i] <= 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	return d
+}
+
+// Topsoe returns the Topsoe divergence between two aligned discrete
+// distributions: D(p||m) + D(q||m) with m the midpoint distribution.
+// It is symmetric, finite for any pair of distributions, and equals
+// twice the Jensen-Shannon divergence. The AP-attack uses it to compare
+// mobility heatmaps.
+func Topsoe(p, q []float64) float64 {
+	var d float64
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		var pi, qi float64
+		if i < len(p) {
+			pi = p[i]
+		}
+		if i < len(q) {
+			qi = q[i]
+		}
+		m := (pi + qi) / 2
+		if pi > 0 {
+			d += pi * math.Log(pi/m)
+		}
+		if qi > 0 {
+			d += qi * math.Log(qi/m)
+		}
+	}
+	return d
+}
+
+// JensenShannon returns the Jensen-Shannon divergence (half the Topsoe
+// divergence), bounded by ln 2.
+func JensenShannon(p, q []float64) float64 { return Topsoe(p, q) / 2 }
+
+// Normalize scales xs in place so it sums to 1 and returns it. A zero or
+// empty vector is returned unchanged.
+func Normalize(xs []float64) []float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if sum == 0 {
+		return xs
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+	return xs
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It copies xs and is safe
+// on unsorted input; it returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,191 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertW0KnownValues(t *testing.T) {
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0},
+		{math.E, 1},
+		{1, 0.5671432904097838},
+		{10, 1.7455280027406994},
+		{-0.2, -0.2591711018190738},
+		{-1 / math.E, -1},
+	}
+	for _, tt := range tests {
+		got := LambertW0(tt.x)
+		if math.Abs(got-tt.want) > 1e-8 {
+			t.Errorf("W0(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestLambertWm1KnownValues(t *testing.T) {
+	tests := []struct {
+		x, want float64
+	}{
+		{-1 / math.E, -1},
+		{-0.1, -3.577152063957297},
+		{-0.01, -6.472775124394005},
+		{-0.2, -2.542641357773526},
+	}
+	for _, tt := range tests {
+		got := LambertWm1(tt.x)
+		if math.Abs(got-tt.want) > 1e-7 {
+			t.Errorf("Wm1(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestLambertWInverseProperty(t *testing.T) {
+	// W(x)*exp(W(x)) == x must hold on both branches.
+	f := func(u float64) bool {
+		x := -math.Abs(math.Mod(u, 1))/math.E + 1e-9 // x in (-1/e, 0]
+		if x >= 0 {
+			x = -1e-9
+		}
+		w0 := LambertW0(x)
+		wm := LambertWm1(x)
+		ok0 := math.Abs(w0*math.Exp(w0)-x) < 1e-9
+		okm := math.Abs(wm*math.Exp(wm)-x) < 1e-9*(1+math.Abs(wm))
+		return ok0 && okm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambertWDomainErrors(t *testing.T) {
+	if !math.IsNaN(LambertW0(-1)) {
+		t.Error("W0(-1) must be NaN")
+	}
+	if !math.IsNaN(LambertWm1(0.5)) {
+		t.Error("Wm1(0.5) must be NaN")
+	}
+	if !math.IsNaN(LambertWm1(-10)) {
+		t.Error("Wm1(-10) must be NaN")
+	}
+}
+
+func TestKL(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if d := KL(p, p); d != 0 {
+		t.Fatalf("KL(p,p) = %v", d)
+	}
+	q := []float64{0.9, 0.1}
+	if d := KL(p, q); d <= 0 {
+		t.Fatalf("KL(p,q) = %v, want > 0", d)
+	}
+	if d := KL([]float64{1, 0}, []float64{0, 1}); !math.IsInf(d, 1) {
+		t.Fatalf("disjoint supports: KL = %v, want +Inf", d)
+	}
+}
+
+func TestTopsoeProperties(t *testing.T) {
+	p := []float64{0.7, 0.2, 0.1}
+	q := []float64{0.1, 0.3, 0.6}
+	dpq := Topsoe(p, q)
+	dqp := Topsoe(q, p)
+	if math.Abs(dpq-dqp) > 1e-12 {
+		t.Fatalf("Topsoe not symmetric: %v vs %v", dpq, dqp)
+	}
+	if dpq <= 0 {
+		t.Fatalf("Topsoe(p,q) = %v, want > 0", dpq)
+	}
+	if d := Topsoe(p, p); d != 0 {
+		t.Fatalf("Topsoe(p,p) = %v", d)
+	}
+	// Bounded by 2 ln 2 even for disjoint supports.
+	d := Topsoe([]float64{1, 0}, []float64{0, 1})
+	if math.Abs(d-2*math.Ln2) > 1e-12 {
+		t.Fatalf("disjoint Topsoe = %v, want 2ln2", d)
+	}
+}
+
+func TestTopsoeRaggedLengths(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.5, 0.25, 0.25}
+	if d := Topsoe(p, q); d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Fatalf("ragged Topsoe = %v", d)
+	}
+}
+
+func TestJensenShannonBound(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		p := Normalize([]float64{math.Abs(a) + 1e-9, math.Abs(b) + 1e-9})
+		q := Normalize([]float64{math.Abs(c) + 1e-9, math.Abs(d) + 1e-9})
+		js := JensenShannon(p, q)
+		return js >= 0 && js <= math.Ln2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := Normalize([]float64{2, 6})
+	if xs[0] != 0.25 || xs[1] != 0.75 {
+		t.Fatalf("Normalize = %v", xs)
+	}
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatalf("Normalize zero vector = %v", zero)
+	}
+	if out := Normalize(nil); out != nil {
+		t.Fatalf("Normalize(nil) = %v", out)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := Std(xs); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", s)
+	}
+	if s := Std([]float64{1}); s != 0 {
+		t.Fatalf("Std single = %v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {150, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Fatalf("Clamp high = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Fatalf("Clamp low = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Fatalf("Clamp mid = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestDeriveRandLabelsIndependent(t *testing.T) {
+	a := DeriveRand(1, "geoi", "user-1")
+	b := DeriveRand(1, "geoi", "user-2")
+	c := DeriveRand(1, "geoi", "user-1")
+	var eqAB, eqAC int
+	for i := 0; i < 50; i++ {
+		av, bv, cv := a.Float64(), b.Float64(), c.Float64()
+		if av == bv {
+			eqAB++
+		}
+		if av == cv {
+			eqAC++
+		}
+	}
+	if eqAB > 5 {
+		t.Fatal("distinct labels produced correlated streams")
+	}
+	if eqAC != 50 {
+		t.Fatal("same labels must reproduce the stream")
+	}
+}
+
+func TestDeriveRandLabelBoundaries(t *testing.T) {
+	// ("ab","c") and ("a","bc") must not collide thanks to separators.
+	s1 := DeriveSeed(7, "ab", "c")
+	s2 := DeriveSeed(7, "a", "bc")
+	if s1 == s2 {
+		t.Fatal("label concatenation collision")
+	}
+}
+
+func TestSampleLaplaceMoments(t *testing.T) {
+	rng := NewRand(7)
+	const n = 200000
+	const scale = 3.0
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		x := SampleLaplace(rng, scale)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	mean := sum / n
+	meanAbs := sumAbs / n
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("Laplace mean = %v, want ~0", mean)
+	}
+	// E|X| = b for Laplace(0, b).
+	if math.Abs(meanAbs-scale) > 0.05 {
+		t.Fatalf("Laplace E|X| = %v, want %v", meanAbs, scale)
+	}
+}
+
+func TestSamplePlanarLaplaceRadiusMean(t *testing.T) {
+	rng := NewRand(11)
+	const eps = 0.01 // paper's medium privacy level, mean radius 200 m
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		r := SamplePlanarLaplaceRadius(rng, eps)
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			t.Fatalf("invalid radius %v", r)
+		}
+		sum += r
+	}
+	mean := sum / n
+	want := 2 / eps
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("planar Laplace mean radius = %v, want ~%v", mean, want)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	rng := NewRand(3)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := map[int]bool{}
+	for _, x := range xs {
+		orig[x] = true
+	}
+	Shuffle(rng, xs)
+	if len(xs) != 8 {
+		t.Fatal("length changed")
+	}
+	for _, x := range xs {
+		if !orig[x] {
+			t.Fatalf("element %v appeared from nowhere", x)
+		}
+	}
+}
+
+func TestChoice(t *testing.T) {
+	rng := NewRand(5)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]int{}
+	for i := 0; i < 300; i++ {
+		seen[Choice(rng, xs)]++
+	}
+	for _, s := range xs {
+		if seen[s] < 50 {
+			t.Fatalf("choice %q underrepresented: %v", s, seen)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	rng := NewRand(9)
+	weights := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 4000; i++ {
+		counts[WeightedChoice(rng, weights)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoiceAllZero(t *testing.T) {
+	rng := NewRand(13)
+	weights := []float64{0, 0, 0, 0}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		idx := WeightedChoice(rng, weights)
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("index out of range: %d", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("all-zero weights should fall back to uniform, saw %v", seen)
+	}
+}

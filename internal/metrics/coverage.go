@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"mood/internal/geo"
+	"mood/internal/heatmap"
+	"mood/internal/trace"
+)
+
+// CoverageUtility is an alternative utility metric for the Best LPPM
+// Selection stage (the paper's §3.5 leaves the metric to the data
+// security expert). It measures how well the obfuscated trace preserves
+// the *spatial density profile* of the original at a given cell
+// granularity, as the histogram intersection of the two heatmaps:
+// Σ_cells min(p_orig, p_obf). 1 means the density maps coincide; 0
+// means total spatial displacement.
+//
+// Count-style analyses (traffic density, pollution heatmaps) care about
+// exactly this, rather than per-record distortion.
+type CoverageUtility struct {
+	// CellSize is the analysis granularity in meters (0 selects the
+	// heatmap default, 800 m).
+	CellSize float64
+}
+
+var _ Utility = CoverageUtility{}
+
+// Name implements Utility.
+func (CoverageUtility) Name() string { return "coverage" }
+
+// Measure implements Utility: the histogram intersection in [0, 1].
+func (c CoverageUtility) Measure(original, obfuscated trace.Trace) float64 {
+	if original.Empty() || obfuscated.Empty() {
+		return 0
+	}
+	size := c.CellSize
+	if size <= 0 {
+		size = heatmap.DefaultCellSize
+	}
+	box := original.BBox()
+	grid := geo.NewGrid(box.Center(), size)
+	orig := heatmap.FromTrace(grid, original)
+	obf := heatmap.FromTrace(grid, obfuscated)
+
+	var intersection float64
+	for _, cw := range orig.TopCells(0) {
+		po := cw.Weight / orig.Total()
+		pb := obf.Prob(cw.Cell)
+		if pb < po {
+			intersection += pb
+		} else {
+			intersection += po
+		}
+	}
+	return intersection
+}
+
+// Better implements Utility (higher coverage wins).
+func (CoverageUtility) Better(a, b float64) bool { return a > b }

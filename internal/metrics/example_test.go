@@ -1,0 +1,27 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"mood/internal/metrics"
+)
+
+// Distortion bands of the paper's Figure 9.
+func ExampleBandOf() {
+	for _, std := range []float64{120, 750, 3200, 9000} {
+		fmt.Println(metrics.BandOf(std))
+	}
+	// Output:
+	// <500m
+	// <1000m
+	// <5000m
+	// >=5000m
+}
+
+// Eq. 7: the share of records lost when unprotectable traces are erased.
+func ExampleDataLoss() {
+	lost := map[string]int{"orphan-1": 150, "orphan-2": 50}
+	fmt.Printf("%.0f%%\n", 100*metrics.DataLoss(lost, 1000))
+	// Output:
+	// 20%
+}

@@ -1,0 +1,233 @@
+// Package mmc builds Mobility Markov Chains — the mobility-profile model
+// of the PIT-attack [16]. States are the user's POIs ordered by weight;
+// edges carry the empirical probability of moving from one POI to
+// another. The stats-prox distance combines a stationary distance
+// (geography weighted by state importance) with a proximity distance
+// (transition-structure similarity).
+package mmc
+
+import (
+	"fmt"
+	"math"
+
+	"mood/internal/geo"
+	"mood/internal/poi"
+	"mood/internal/trace"
+)
+
+// Chain is a Mobility Markov Chain: POI states plus a row-stochastic
+// transition matrix.
+type Chain struct {
+	// States are the POIs ordered by descending record weight.
+	States []poi.POI
+	// Trans[i][j] is the probability of moving from state i to state j.
+	Trans [][]float64
+	// Weights[i] is the record-mass share of state i (sums to 1).
+	Weights []float64
+}
+
+// Build constructs the MMC of trace t using extractor e. It returns an
+// empty chain (States == nil) when no POIs can be extracted — callers
+// treat that as "no profile".
+func Build(e poi.Extractor, t trace.Trace) Chain {
+	pois := e.Extract(t)
+	if len(pois) == 0 {
+		return Chain{}
+	}
+	n := len(pois)
+
+	// Assign every record to its nearest POI within the acceptance
+	// radius, producing the state-visit sequence.
+	radius := e.MaxDiameter
+	if radius <= 0 {
+		radius = poi.DefaultMaxDiameter
+	}
+	seq := make([]int, 0, t.Len())
+	for _, r := range t.Records {
+		best, bestD := -1, math.Inf(1)
+		p := r.Point()
+		for i, s := range pois {
+			if d := geo.FastDistance(s.Center, p); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 && bestD <= radius {
+			// Collapse consecutive visits to the same state.
+			if len(seq) == 0 || seq[len(seq)-1] != best {
+				seq = append(seq, best)
+			}
+		}
+	}
+
+	counts := make([][]float64, n)
+	for i := range counts {
+		counts[i] = make([]float64, n)
+	}
+	for i := 1; i < len(seq); i++ {
+		counts[seq[i-1]][seq[i]]++
+	}
+	trans := make([][]float64, n)
+	for i := range counts {
+		row := make([]float64, n)
+		var sum float64
+		for _, c := range counts[i] {
+			sum += c
+		}
+		if sum > 0 {
+			for j, c := range counts[i] {
+				row[j] = c / sum
+			}
+		} else {
+			// Absorbing or never-left state: self-loop keeps the matrix
+			// stochastic.
+			row[i] = 1
+		}
+		trans[i] = row
+	}
+
+	return Chain{States: pois, Trans: trans, Weights: poi.Weights(pois)}
+}
+
+// Empty reports whether the chain has no states.
+func (c Chain) Empty() bool { return len(c.States) == 0 }
+
+// NumStates returns the number of POI states.
+func (c Chain) NumStates() int { return len(c.States) }
+
+// Stationary returns the stationary distribution of the chain computed
+// by power iteration from the weight vector. For reducible chains this
+// converges to a stationary point that respects the starting mass, which
+// is the behaviour the attack needs (importance of places).
+func (c Chain) Stationary() []float64 {
+	n := len(c.States)
+	if n == 0 {
+		return nil
+	}
+	pi := make([]float64, n)
+	copy(pi, c.Weights)
+	next := make([]float64, n)
+	for iter := 0; iter < 200; iter++ {
+		for j := 0; j < n; j++ {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			if pi[i] == 0 {
+				continue
+			}
+			row := c.Trans[i]
+			for j := 0; j < n; j++ {
+				next[j] += pi[i] * row[j]
+			}
+		}
+		var delta float64
+		for j := 0; j < n; j++ {
+			delta += math.Abs(next[j] - pi[j])
+		}
+		pi, next = next, pi
+		if delta < 1e-10 {
+			break
+		}
+	}
+	return pi
+}
+
+// Validate checks that the transition matrix is square and row-stochastic.
+func (c Chain) Validate() error {
+	n := len(c.States)
+	if len(c.Trans) != n {
+		return fmt.Errorf("mmc: %d states but %d transition rows", n, len(c.Trans))
+	}
+	for i, row := range c.Trans {
+		if len(row) != n {
+			return fmt.Errorf("mmc: row %d has %d columns, want %d", i, len(row), n)
+		}
+		var sum float64
+		for _, p := range row {
+			if p < 0 || p > 1+1e-9 {
+				return fmt.Errorf("mmc: row %d has probability %v out of range", i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("mmc: row %d sums to %v", i, sum)
+		}
+	}
+	return nil
+}
+
+// StationaryDistance measures how far apart two chains' important places
+// are: for every state of a, the geographic distance to the closest
+// state of b, averaged with a's stationary weights (and symmetrised).
+// Lower means more similar. Returns +Inf when either chain is empty.
+func StationaryDistance(a, b Chain) float64 {
+	if a.Empty() || b.Empty() {
+		return math.Inf(1)
+	}
+	return (directedStationary(a, b) + directedStationary(b, a)) / 2
+}
+
+func directedStationary(a, b Chain) float64 {
+	pia := a.Stationary()
+	var d float64
+	for i, s := range a.States {
+		best := math.Inf(1)
+		for _, t := range b.States {
+			if dd := geo.FastDistance(s.Center, t.Center); dd < best {
+				best = dd
+			}
+		}
+		d += pia[i] * best
+	}
+	return d
+}
+
+// ProximityDistance compares the transition structure of two chains
+// after geographically matching their states: each state of a is matched
+// to its nearest state of b, and the L1 difference between the matched
+// transition probabilities is accumulated, weighted by a's stationary
+// mass (symmetrised). Lower means more similar. Returns +Inf when either
+// chain is empty.
+func ProximityDistance(a, b Chain) float64 {
+	if a.Empty() || b.Empty() {
+		return math.Inf(1)
+	}
+	return (directedProximity(a, b) + directedProximity(b, a)) / 2
+}
+
+func directedProximity(a, b Chain) float64 {
+	match := make([]int, len(a.States))
+	for i, s := range a.States {
+		best, bestD := 0, math.Inf(1)
+		for j, t := range b.States {
+			if d := geo.FastDistance(s.Center, t.Center); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		match[i] = best
+	}
+	pia := a.Stationary()
+	var d float64
+	for i := range a.States {
+		for k := range a.States {
+			diff := math.Abs(a.Trans[i][k] - b.Trans[match[i]][match[k]])
+			d += pia[i] * diff
+		}
+	}
+	return d
+}
+
+// StatsProx combines the stationary and proximity distances as the
+// PIT-attack's most effective metric. The two components live on
+// different scales (meters vs probability mass), so they are combined
+// after normalising the stationary part by a city-scale constant.
+func StatsProx(a, b Chain) float64 {
+	sd := StationaryDistance(a, b)
+	pd := ProximityDistance(a, b)
+	if math.IsInf(sd, 1) || math.IsInf(pd, 1) {
+		return math.Inf(1)
+	}
+	// 1 km of stationary displacement weighs as much as a full unit of
+	// transition-probability difference.
+	const meterScale = 1000.0
+	return sd/meterScale + pd
+}

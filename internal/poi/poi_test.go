@@ -1,0 +1,155 @@
+package poi
+
+import (
+	"testing"
+	"time"
+
+	"mood/internal/geo"
+	"mood/internal/trace"
+)
+
+var (
+	home = geo.Point{Lat: 45.7640, Lon: 4.8357}
+	work = geo.Offset(home, 3000, 1500)
+)
+
+// dwellTrace simulates: dwell at home (2h), commute, dwell at work (8h),
+// commute, dwell at home (2h). Samples every 5 minutes.
+func dwellTrace() trace.Trace {
+	const step = 300
+	var rs []trace.Record
+	ts := int64(0)
+	stay := func(p geo.Point, d time.Duration) {
+		n := int(d/time.Second) / step
+		for i := 0; i < n; i++ {
+			// Small in-place jitter well under the 200 m diameter.
+			q := geo.Offset(p, float64(i%3)*8, float64(i%2)*8)
+			rs = append(rs, trace.At(q, ts))
+			ts += step
+		}
+	}
+	move := func(from, to geo.Point, d time.Duration) {
+		n := int(d/time.Second) / step
+		for i := 0; i < n; i++ {
+			f := float64(i) / float64(n)
+			rs = append(rs, trace.At(geo.Interpolate(from, to, f), ts))
+			ts += step
+		}
+	}
+	stay(home, 2*time.Hour)
+	move(home, work, 30*time.Minute)
+	stay(work, 8*time.Hour)
+	move(work, home, 30*time.Minute)
+	stay(home, 2*time.Hour)
+	return trace.New("u", rs)
+}
+
+func TestExtractFindsHomeAndWork(t *testing.T) {
+	pois := NewExtractor().Extract(dwellTrace())
+	if len(pois) < 2 {
+		t.Fatalf("extracted %d POIs, want >= 2", len(pois))
+	}
+	// The two heaviest POIs must be work (8h) and home (4h total).
+	d0 := geo.FastDistance(pois[0].Center, work)
+	d1 := geo.FastDistance(pois[1].Center, home)
+	if d0 > 150 {
+		t.Errorf("heaviest POI %v not at work (%.0f m away)", pois[0].Center, d0)
+	}
+	if d1 > 150 {
+		t.Errorf("second POI %v not at home (%.0f m away)", pois[1].Center, d1)
+	}
+	// Ordered by descending weight.
+	for i := 1; i < len(pois); i++ {
+		if pois[i].Records > pois[i-1].Records {
+			t.Fatal("POIs not sorted by descending record count")
+		}
+	}
+}
+
+func TestExtractMergesRepeatedVisits(t *testing.T) {
+	// The trace visits home twice; merging must fuse them into one POI.
+	pois := NewExtractor().Extract(dwellTrace())
+	var nearHome int
+	for _, p := range pois {
+		if geo.FastDistance(p.Center, home) < 150 {
+			nearHome++
+		}
+	}
+	if nearHome != 1 {
+		t.Fatalf("home appears as %d POIs, want 1 after merging", nearHome)
+	}
+}
+
+func TestExtractRespectsMinDwell(t *testing.T) {
+	// A 20-minute stop must not become a POI with a 1 h threshold.
+	var rs []trace.Record
+	for i := 0; i < 5; i++ { // 20 min at 5-min sampling
+		rs = append(rs, trace.At(home, int64(i*300)))
+	}
+	pois := NewExtractor().Extract(trace.New("u", rs))
+	if len(pois) != 0 {
+		t.Fatalf("short stop produced %d POIs", len(pois))
+	}
+
+	// The same stop passes with a 10-minute threshold.
+	e := Extractor{MaxDiameter: 200, MinDwell: 10 * time.Minute, MergeDist: 100}
+	pois = e.Extract(trace.New("u", rs))
+	if len(pois) != 1 {
+		t.Fatalf("10-min threshold: %d POIs, want 1", len(pois))
+	}
+}
+
+func TestExtractEmptyAndMoving(t *testing.T) {
+	if pois := NewExtractor().Extract(trace.Trace{}); pois != nil {
+		t.Fatal("empty trace must yield no POIs")
+	}
+	// Constant motion (100 m between consecutive samples) never dwells.
+	var rs []trace.Record
+	for i := 0; i < 100; i++ {
+		rs = append(rs, trace.At(geo.Offset(home, float64(i)*100, 0), int64(i*300)))
+	}
+	if pois := NewExtractor().Extract(trace.New("u", rs)); len(pois) != 0 {
+		t.Fatalf("moving trace produced %d POIs", len(pois))
+	}
+}
+
+func TestExtractDiameterBound(t *testing.T) {
+	pois := NewExtractor().Extract(dwellTrace())
+	for _, p := range pois {
+		// Centers are centroids of sub-200m clusters; dwell must be
+		// consistent with bounds.
+		if p.Last < p.First {
+			t.Fatal("POI time bounds inverted")
+		}
+		if p.Records <= 0 {
+			t.Fatal("POI without records")
+		}
+	}
+}
+
+func TestWeights(t *testing.T) {
+	pois := []POI{{Records: 6}, {Records: 3}, {Records: 1}}
+	ws := Weights(pois)
+	if ws[0] != 0.6 || ws[1] != 0.3 || ws[2] != 0.1 {
+		t.Fatalf("weights = %v", ws)
+	}
+	if TotalRecords(pois) != 10 {
+		t.Fatalf("TotalRecords = %d", TotalRecords(pois))
+	}
+	empty := Weights(nil)
+	if len(empty) != 0 {
+		t.Fatalf("Weights(nil) = %v", empty)
+	}
+	zero := Weights([]POI{{Records: 0}})
+	if zero[0] != 0 {
+		t.Fatalf("zero-record weights = %v", zero)
+	}
+}
+
+func TestExtractorZeroValuesUseDefaults(t *testing.T) {
+	var e Extractor // zero value
+	pois := e.Extract(dwellTrace())
+	if len(pois) < 2 {
+		t.Fatalf("zero-value extractor found %d POIs", len(pois))
+	}
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"mood/internal/eval"
+)
+
+// Dynamic renders the §6 dynamic-protection extension: per-round leak
+// counts of static vs retrained verification against an up-to-date
+// attacker.
+func Dynamic(w io.Writer, static, dynamic []eval.RoundResult) {
+	fmt.Fprintln(w, "Extension (paper §6): dynamic protection — retraining the verification attacks")
+	header := []string{"round", "users", "static leaks", "static loss", "dynamic leaks", "dynamic loss"}
+	n := len(static)
+	if len(dynamic) > n {
+		n = len(dynamic)
+	}
+	rows := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%d", i+1)}
+		if i < len(static) {
+			row = append(row,
+				fmt.Sprintf("%d", static[i].Users),
+				fmt.Sprintf("%d/%d", static[i].Leaks, static[i].Pieces),
+				Pct(static[i].DataLoss))
+		} else {
+			row = append(row, "-", "-", "-")
+		}
+		if i < len(dynamic) {
+			row = append(row,
+				fmt.Sprintf("%d/%d", dynamic[i].Leaks, dynamic[i].Pieces),
+				Pct(dynamic[i].DataLoss))
+		} else {
+			row = append(row, "-", "-")
+		}
+		rows = append(rows, row)
+	}
+	Table(w, header, rows)
+}

@@ -1,0 +1,248 @@
+// Package report renders evaluation results as the text equivalents of
+// the paper's tables and figures: aligned tables for Table 1 and the
+// figure series, and horizontal bars for the bar charts.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mood/internal/eval"
+	"mood/internal/metrics"
+)
+
+// Table writes rows as an aligned text table with a header rule.
+func Table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(header)
+	rule := make([]string, len(header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a horizontal bar of the given ratio in [0,1].
+func Bar(ratio float64, width int) string {
+	if width <= 0 {
+		width = 30
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	n := int(ratio*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(ratio float64) string { return fmt.Sprintf("%.1f%%", ratio*100) }
+
+// Table1 renders the dataset description table.
+func Table1(w io.Writer, run eval.Run) {
+	fmt.Fprintln(w, "Table 1. Description of datasets (synthetic stand-ins)")
+	rows := make([][]string, 0, len(run.Datasets))
+	for _, d := range run.Datasets {
+		rows = append(rows, []string{
+			d.Name, d.Location,
+			fmt.Sprintf("%d", d.Users),
+			fmt.Sprintf("%d", d.Records),
+		})
+	}
+	Table(w, []string{"name", "location", "#users", "#records"}, rows)
+}
+
+// Figure2 renders the ratio of non-protected users per single LPPM and
+// HybridLPPM (the problem-illustration figure).
+func Figure2(w io.Writer, run eval.Run) {
+	fmt.Fprintln(w, "Figure 2. Ratio of non-protected users (single LPPMs + HybridLPPM, all attacks)")
+	strategies := []string{eval.StratGeoI, eval.StratTRL, eval.StratHMC, eval.StratHybrid}
+	header := append([]string{"dataset"}, strategies...)
+	rows := make([][]string, 0, len(run.Datasets))
+	for _, d := range run.Datasets {
+		row := []string{d.Name}
+		for _, s := range strategies {
+			se, ok := d.Strategy(s)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, Pct(1-se.ProtectedRatio()))
+		}
+		rows = append(rows, row)
+	}
+	Table(w, header, rows)
+}
+
+// Figure3 renders the data-loss ratios of the same strategies.
+func Figure3(w io.Writer, run eval.Run) {
+	fmt.Fprintln(w, "Figure 3. Ratio of data loss (single LPPMs + HybridLPPM, all attacks)")
+	strategies := []string{eval.StratGeoI, eval.StratTRL, eval.StratHMC, eval.StratHybrid}
+	header := append([]string{"dataset"}, strategies...)
+	rows := make([][]string, 0, len(run.Datasets))
+	for _, d := range run.Datasets {
+		row := []string{d.Name}
+		for _, s := range strategies {
+			se, ok := d.Strategy(s)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, Pct(se.DataLoss))
+		}
+		rows = append(rows, row)
+	}
+	Table(w, header, rows)
+}
+
+// FigureUsers renders Figures 6/7: the number of non-protected users per
+// strategy and dataset (one sub-figure per dataset in the paper).
+func FigureUsers(w io.Writer, run eval.Run, title string) {
+	fmt.Fprintln(w, title)
+	header := append([]string{"dataset", "#users"}, eval.StrategyOrder...)
+	rows := make([][]string, 0, len(run.Datasets))
+	for _, d := range run.Datasets {
+		row := []string{d.Name, fmt.Sprintf("%d", d.Users)}
+		for _, s := range eval.StrategyOrder {
+			se, ok := d.Strategy(s)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%d", se.NonProtected))
+		}
+		rows = append(rows, row)
+	}
+	Table(w, header, rows)
+}
+
+// Figure8 renders the fine-grained sub-trace protection bars.
+func Figure8(w io.Writer, run eval.Run) {
+	fmt.Fprintln(w, "Figure 8. Fine-grained protection with MooD (per remaining orphan user)")
+	any := false
+	for _, d := range run.Datasets {
+		if len(d.FineGrained) == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(w, "  %s:\n", d.Name)
+		for _, fg := range d.FineGrained {
+			fmt.Fprintf(w, "    %-8s %s %s of %d sub-traces protected\n",
+				fg.Label, Bar(fg.Ratio(), 24), Pct(fg.Ratio()), fg.SubTraces)
+		}
+	}
+	if !any {
+		fmt.Fprintln(w, "  (no user needed the fine-grained stage in this run)")
+	}
+}
+
+// Figure9 renders the utility-band distribution of protected users.
+func Figure9(w io.Writer, run eval.Run) {
+	fmt.Fprintln(w, "Figure 9. Utility of protected data (distortion bands, protected users only)")
+	strategies := []string{eval.StratGeoI, eval.StratTRL, eval.StratHMC, eval.StratHybrid, eval.StratMooD}
+	header := append([]string{"dataset", "strategy"}, bandNames()...)
+	var rows [][]string
+	for _, d := range run.Datasets {
+		for _, s := range strategies {
+			se, ok := d.Strategy(s)
+			if !ok {
+				continue
+			}
+			var protected int
+			for _, b := range metrics.Bands() {
+				protected += se.Bands[b]
+			}
+			row := []string{d.Name, s}
+			for _, b := range metrics.Bands() {
+				if protected == 0 {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, Pct(float64(se.Bands[b])/float64(protected)))
+			}
+			rows = append(rows, row)
+		}
+	}
+	Table(w, header, rows)
+}
+
+func bandNames() []string {
+	bands := metrics.Bands()
+	out := make([]string, len(bands))
+	for i, b := range bands {
+		out[i] = b.String()
+	}
+	return out
+}
+
+// Figure10 renders the data-loss comparison including MooD.
+func Figure10(w io.Writer, run eval.Run) {
+	fmt.Fprintln(w, "Figure 10. Ratio of data loss, MooD vs. competitors")
+	strategies := []string{eval.StratGeoI, eval.StratTRL, eval.StratHMC, eval.StratHybrid, eval.StratMooD}
+	header := append([]string{"dataset"}, strategies...)
+	rows := make([][]string, 0, len(run.Datasets))
+	for _, d := range run.Datasets {
+		row := []string{d.Name}
+		for _, s := range strategies {
+			se, ok := d.Strategy(s)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, Pct(se.DataLoss))
+		}
+		rows = append(rows, row)
+	}
+	Table(w, header, rows)
+}
+
+// All renders every table and figure of a run.
+func All(w io.Writer, multiAttack eval.Run, singleAttack *eval.Run) {
+	Table1(w, multiAttack)
+	fmt.Fprintln(w)
+	Figure2(w, multiAttack)
+	fmt.Fprintln(w)
+	Figure3(w, multiAttack)
+	fmt.Fprintln(w)
+	if singleAttack != nil {
+		FigureUsers(w, *singleAttack, "Figure 6. Non-protected users, single attack (AP only)")
+		fmt.Fprintln(w)
+	}
+	FigureUsers(w, multiAttack, "Figure 7. Non-protected users, multiple attacks (AP+POI+PIT)")
+	fmt.Fprintln(w)
+	Figure8(w, multiAttack)
+	fmt.Fprintln(w)
+	Figure9(w, multiAttack)
+	fmt.Fprintln(w)
+	Figure10(w, multiAttack)
+}

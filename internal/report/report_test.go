@@ -1,0 +1,172 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mood/internal/core"
+	"mood/internal/eval"
+	"mood/internal/metrics"
+)
+
+// fakeRun builds a minimal two-dataset run without touching the heavy
+// evaluation pipeline.
+func fakeRun() eval.Run {
+	mk := func(name, loc string, users int) eval.DatasetEval {
+		de := eval.DatasetEval{
+			Name: name, Location: loc, Users: users, Records: users * 100, TestRecords: users * 50,
+		}
+		for i, s := range eval.StrategyOrder {
+			results := make([]core.Result, users)
+			for j := range results {
+				results[j] = core.Result{TotalRecords: 50}
+			}
+			se := eval.StrategyEval{
+				Strategy:     s,
+				NonProtected: i, // descending protection by column order
+				DataLoss:     float64(i) / 10,
+				Bands: map[metrics.Band]int{
+					metrics.BandLow:    users - i,
+					metrics.BandMedium: 0,
+				},
+				Results: results,
+			}
+			de.Strategies = append(de.Strategies, se)
+		}
+		de.FineGrained = []eval.FineGrainedUser{
+			{User: name + "-u9", Label: "USER A", SubTraces: 4, Protected: 3},
+		}
+		return de
+	}
+	return eval.Run{Datasets: []eval.DatasetEval{
+		mk("mdc", "Geneva", 10),
+		mk("cabspotting", "San Francisco", 20),
+	}}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"yyyy", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Header rule must be as wide as the widest cell per column.
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("missing rule: %q", lines[1])
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Fatalf("Bar(0.5) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Fatalf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Fatalf("Bar(2) = %q", got)
+	}
+	if got := Bar(1, 0); len(got) != 30 {
+		t.Fatalf("default width = %d", len(got))
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.1234); got != "12.3%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestFiguresRenderAllSections(t *testing.T) {
+	run := fakeRun()
+	var buf bytes.Buffer
+	All(&buf, run, &run)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Figure 2", "Figure 3", "Figure 6", "Figure 7",
+		"Figure 8", "Figure 9", "Figure 10",
+		"mdc", "cabspotting", "Geneva", "San Francisco",
+		"USER A", "HybridLPPM", "MooD",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFigure8EmptyCase(t *testing.T) {
+	run := fakeRun()
+	for i := range run.Datasets {
+		run.Datasets[i].FineGrained = nil
+	}
+	var buf bytes.Buffer
+	Figure8(&buf, run)
+	if !strings.Contains(buf.String(), "no user needed") {
+		t.Fatalf("empty fine-grained case not handled: %q", buf.String())
+	}
+}
+
+func TestFigure9SkipsUnprotectedStrategies(t *testing.T) {
+	run := fakeRun()
+	// Zero out all bands for GeoI: its row must render dashes.
+	for i := range run.Datasets {
+		for j := range run.Datasets[i].Strategies {
+			if run.Datasets[i].Strategies[j].Strategy == eval.StratGeoI {
+				run.Datasets[i].Strategies[j].Bands = map[metrics.Band]int{}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	Figure9(&buf, run)
+	if !strings.Contains(buf.String(), "-") {
+		t.Fatal("expected dash cells for unprotected strategy")
+	}
+}
+
+func TestFigureUsersCountsColumns(t *testing.T) {
+	var buf bytes.Buffer
+	FigureUsers(&buf, fakeRun(), "Figure 7 test")
+	lines := strings.Split(buf.String(), "\n")
+	// title + header + rule + 2 dataset rows
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %v", lines)
+	}
+	header := lines[1]
+	for _, col := range eval.StrategyOrder {
+		if !strings.Contains(header, col) {
+			t.Errorf("header missing %q", col)
+		}
+	}
+}
+
+func TestSummariseAndWriteJSON(t *testing.T) {
+	run := fakeRun()
+	s := Summarise(run)
+	if len(s.Datasets) != 2 {
+		t.Fatalf("datasets = %d", len(s.Datasets))
+	}
+	d := s.Datasets[0]
+	if len(d.Strategies) != len(eval.StrategyOrder) {
+		t.Fatalf("strategies = %d", len(d.Strategies))
+	}
+	if len(d.FineGrained) != 1 || d.FineGrained[0].Ratio != 0.75 {
+		t.Fatalf("fine grained = %+v", d.FineGrained)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back.Datasets) != 2 {
+		t.Fatalf("round trip datasets = %d", len(back.Datasets))
+	}
+}

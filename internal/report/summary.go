@@ -1,0 +1,97 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"mood/internal/eval"
+	"mood/internal/metrics"
+)
+
+// Summary is the machine-readable form of an evaluation run: everything
+// the figures plot, without the per-record payloads. `moodbench -json`
+// emits it for external plotting tools.
+type Summary struct {
+	Scale    string           `json:"scale"`
+	Seed     uint64           `json:"seed"`
+	Datasets []DatasetSummary `json:"datasets"`
+}
+
+// DatasetSummary is one dataset's figures.
+type DatasetSummary struct {
+	Name        string             `json:"name"`
+	Location    string             `json:"location"`
+	Users       int                `json:"users"`
+	Records     int                `json:"records"`
+	TestRecords int                `json:"test_records"`
+	AttackHits  map[string]int     `json:"attack_hits,omitempty"`
+	Strategies  []StrategySummary  `json:"strategies"`
+	FineGrained []FineGrainSummary `json:"fine_grained,omitempty"`
+}
+
+// StrategySummary is one strategy's series values.
+type StrategySummary struct {
+	Strategy     string         `json:"strategy"`
+	NonProtected int            `json:"non_protected"`
+	DataLoss     float64        `json:"data_loss"`
+	Bands        map[string]int `json:"bands,omitempty"`
+}
+
+// FineGrainSummary is one Figure 8 bar.
+type FineGrainSummary struct {
+	Label     string  `json:"label"`
+	SubTraces int     `json:"sub_traces"`
+	Protected int     `json:"protected"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// Summarise converts a run into its machine-readable summary.
+func Summarise(run eval.Run) Summary {
+	s := Summary{
+		Scale: run.Config.Scale.String(),
+		Seed:  run.Config.Seed,
+	}
+	for _, d := range run.Datasets {
+		ds := DatasetSummary{
+			Name:        d.Name,
+			Location:    d.Location,
+			Users:       d.Users,
+			Records:     d.Records,
+			TestRecords: d.TestRecords,
+			AttackHits:  d.AttackHits,
+		}
+		for _, se := range d.Strategies {
+			ss := StrategySummary{
+				Strategy:     se.Strategy,
+				NonProtected: se.NonProtected,
+				DataLoss:     se.DataLoss,
+			}
+			if len(se.Bands) > 0 {
+				ss.Bands = make(map[string]int, len(se.Bands))
+				for _, b := range metrics.Bands() {
+					if n := se.Bands[b]; n > 0 {
+						ss.Bands[b.String()] = n
+					}
+				}
+			}
+			ds.Strategies = append(ds.Strategies, ss)
+		}
+		for _, fg := range d.FineGrained {
+			ds.FineGrained = append(ds.FineGrained, FineGrainSummary{
+				Label:     fg.Label,
+				SubTraces: fg.SubTraces,
+				Protected: fg.Protected,
+				Ratio:     fg.Ratio(),
+			})
+		}
+		s.Datasets = append(s.Datasets, ds)
+	}
+	return s
+}
+
+// WriteJSON emits the summary as indented JSON.
+func WriteJSON(w io.Writer, run eval.Run) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Summarise(run))
+}

@@ -1,0 +1,42 @@
+package service
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// WithAuth wraps a handler with bearer-token authentication: requests
+// must carry "Authorization: Bearer <token>". The health endpoint stays
+// open for liveness probes. Token comparison is constant-time.
+func WithAuth(token string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got, ok := bearerToken(r)
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="mood"`)
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(h, prefix) {
+		return "", false
+	}
+	return strings.TrimPrefix(h, prefix), true
+}
+
+// SetAuthToken configures the client to send the bearer token on every
+// request and returns the client for chaining.
+func (c *Client) SetAuthToken(token string) *Client {
+	c.authToken = token
+	return c
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mood/internal/trace"
+)
+
+// Client is the participant-side library: it chunks a user's mobility
+// into daily uploads and talks to the middleware.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 60 s timeout (protection
+	// is CPU-heavy server-side).
+	HTTPClient *http.Client
+
+	authToken string
+}
+
+// NewClient returns a client for the given server root.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request with the configured auth header.
+func (c *Client) do(method, url string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.authToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.authToken)
+	}
+	return c.httpClient().Do(req)
+}
+
+// Upload sends one trace (typically a daily chunk) to the middleware.
+func (c *Client) Upload(t trace.Trace) (UploadResponse, error) {
+	body, err := json.Marshal(UploadRequest{User: t.User, Records: t.Records})
+	if err != nil {
+		return UploadResponse{}, fmt.Errorf("service: encoding upload: %w", err)
+	}
+	resp, err := c.do(http.MethodPost, c.BaseURL+"/v1/upload", bytes.NewReader(body))
+	if err != nil {
+		return UploadResponse{}, fmt.Errorf("service: upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return UploadResponse{}, decodeError(resp)
+	}
+	var out UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return UploadResponse{}, fmt.Errorf("service: decoding upload response: %w", err)
+	}
+	return out, nil
+}
+
+// UploadDaily splits the trace into 24 h chunks and uploads each one,
+// as the paper's crowd-sensing participants do. It returns the per-chunk
+// responses; on error it reports how many chunks had been accepted.
+func (c *Client) UploadDaily(t trace.Trace) ([]UploadResponse, error) {
+	chunks := t.Chunks(24 * time.Hour)
+	out := make([]UploadResponse, 0, len(chunks))
+	for i, chunk := range chunks {
+		r, err := c.Upload(chunk)
+		if err != nil {
+			return out, fmt.Errorf("service: chunk %d/%d: %w", i+1, len(chunks), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Dataset fetches the published, protected dataset.
+func (c *Client) Dataset() (trace.Dataset, error) {
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/dataset", nil)
+	if err != nil {
+		return trace.Dataset{}, fmt.Errorf("service: dataset: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return trace.Dataset{}, decodeError(resp)
+	}
+	var d trace.Dataset
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return trace.Dataset{}, fmt.Errorf("service: decoding dataset: %w", err)
+	}
+	return d, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (ServerStats, error) {
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return ServerStats{}, fmt.Errorf("service: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ServerStats{}, decodeError(resp)
+	}
+	var st ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return ServerStats{}, fmt.Errorf("service: decoding stats: %w", err)
+	}
+	return st, nil
+}
+
+// UserStats fetches one participant's accounting.
+func (c *Client) UserStats(user string) (UserStats, error) {
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/users/"+user, nil)
+	if err != nil {
+		return UserStats{}, fmt.Errorf("service: user stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return UserStats{}, decodeError(resp)
+	}
+	var us UserStats
+	if err := json.NewDecoder(resp.Body).Decode(&us); err != nil {
+		return UserStats{}, fmt.Errorf("service: decoding user stats: %w", err)
+	}
+	return us, nil
+}
+
+func decodeError(resp *http.Response) error {
+	var ae apiError
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err := json.Unmarshal(body, &ae); err == nil && ae.Error != "" {
+		return fmt.Errorf("service: server returned %d: %s", resp.StatusCode, ae.Error)
+	}
+	return fmt.Errorf("service: server returned %d", resp.StatusCode)
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mood/internal/trace"
+)
+
+// persistedState is the on-disk snapshot of a Server.
+type persistedState struct {
+	Published []trace.Trace         `json:"published"`
+	Users     map[string]*UserStats `json:"users"`
+	Stats     ServerStats           `json:"stats"`
+	Pseudo    int                   `json:"pseudo"`
+}
+
+// SaveState writes the server's published dataset and accounting to
+// path atomically (write to a temp file, then rename). Operators call
+// it on shutdown or from a periodic snapshot loop.
+func (s *Server) SaveState(path string) error {
+	s.mu.Lock()
+	state := persistedState{
+		Published: make([]trace.Trace, len(s.published)),
+		Users:     make(map[string]*UserStats, len(s.users)),
+		Stats:     s.stats,
+		Pseudo:    s.pseudo,
+	}
+	copy(state.Published, s.published)
+	for u, us := range s.users {
+		copied := *us
+		state.Users[u] = &copied
+	}
+	s.mu.Unlock()
+
+	data, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("service: encoding state: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".mood-state-*")
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("service: writing state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("service: closing state: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("service: committing state: %w", err)
+	}
+	return nil
+}
+
+// LoadState replaces the server's published dataset and accounting with
+// a snapshot written by SaveState. Call before serving traffic.
+func (s *Server) LoadState(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	var state persistedState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return fmt.Errorf("service: decoding state: %w", err)
+	}
+	if state.Users == nil {
+		state.Users = map[string]*UserStats{}
+	}
+
+	s.mu.Lock()
+	s.published = state.Published
+	s.users = state.Users
+	s.stats = state.Stats
+	s.pseudo = state.Pseudo
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package service is the deployment tier of MooD: an HTTP middleware
+// for the paper's crowd-sensing scenario (§3.4, §4.2). Participants
+// upload their daily mobility chunks; the server runs the MooD engine
+// on each upload and admits only protected, pseudonymised fragments to
+// the published dataset. Vulnerable fragments are never stored.
+//
+// Wire protocol (JSON):
+//
+//	POST /v1/upload            {"user": ..., "records": [...]}
+//	                           -> UploadResponse
+//	GET  /v1/dataset           protected dataset (JSON)
+//	GET  /v1/dataset.csv       protected dataset (CSV)
+//	GET  /v1/stats             ServerStats
+//	GET  /v1/users/{id}        per-user upload accounting
+//	GET  /healthz              liveness probe
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"mood/internal/core"
+	"mood/internal/trace"
+	"mood/internal/traceio"
+)
+
+// Protector is the protection engine the server runs on each upload
+// (the MooD engine in production; fakes in tests).
+type Protector interface {
+	Protect(t trace.Trace) (core.Result, error)
+}
+
+// Server implements the crowd-sensing middleware. Create with New and
+// mount via Handler. Safe for concurrent use.
+type Server struct {
+	protector Protector
+
+	mu        sync.Mutex
+	published []trace.Trace
+	users     map[string]*UserStats
+	stats     ServerStats
+	pseudo    int
+}
+
+// UserStats is the per-participant accounting.
+type UserStats struct {
+	// Uploads counts accepted upload requests.
+	Uploads int `json:"uploads"`
+	// RecordsIn counts raw records received.
+	RecordsIn int `json:"records_in"`
+	// RecordsPublished counts records admitted after protection.
+	RecordsPublished int `json:"records_published"`
+	// RecordsRejected counts records erased as unprotectable.
+	RecordsRejected int `json:"records_rejected"`
+	// Pieces counts published fragments.
+	Pieces int `json:"pieces"`
+}
+
+// ServerStats is the global accounting.
+type ServerStats struct {
+	// Uploads counts accepted upload requests.
+	Uploads int `json:"uploads"`
+	// Users counts distinct uploaders.
+	Users int `json:"users"`
+	// RecordsIn, RecordsPublished and RecordsRejected aggregate the
+	// per-user counters.
+	RecordsIn        int `json:"records_in"`
+	RecordsPublished int `json:"records_published"`
+	RecordsRejected  int `json:"records_rejected"`
+	// PublishedTraces counts fragments in the published dataset.
+	PublishedTraces int `json:"published_traces"`
+}
+
+// UploadRequest is the body of POST /v1/upload.
+type UploadRequest struct {
+	User    string         `json:"user"`
+	Records []trace.Record `json:"records"`
+}
+
+// UploadResponse reports what happened to an upload.
+type UploadResponse struct {
+	// Accepted is the number of records admitted to the dataset.
+	Accepted int `json:"accepted"`
+	// Rejected is the number of records erased as unprotectable.
+	Rejected int `json:"rejected"`
+	// Pieces is the number of published fragments.
+	Pieces int `json:"pieces"`
+	// Mechanisms lists the LPPM (compositions) used per fragment.
+	Mechanisms []string `json:"mechanisms"`
+}
+
+// New returns a Server protecting uploads with p.
+func New(p Protector) (*Server, error) {
+	if p == nil {
+		return nil, errors.New("service: nil protector")
+	}
+	return &Server{
+		protector: p,
+		users:     make(map[string]*UserStats),
+	}, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/upload", s.handleUpload)
+	mux.HandleFunc("/v1/dataset", s.handleDataset)
+	mux.HandleFunc("/v1/dataset.csv", s.handleDatasetCSV)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/users/", s.handleUser)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req UploadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.User == "" {
+		httpError(w, http.StatusBadRequest, "missing user")
+		return
+	}
+	if len(req.Records) == 0 {
+		httpError(w, http.StatusBadRequest, "no records")
+		return
+	}
+	t := trace.New(req.User, req.Records)
+	if err := t.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid trace: "+err.Error())
+		return
+	}
+
+	// Protection runs outside the lock: it is the expensive part and
+	// must not serialise uploads from different users.
+	res, err := s.protector.Protect(t)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "protection failed: "+err.Error())
+		return
+	}
+
+	resp := UploadResponse{
+		Accepted: res.ProtectedRecords(),
+		Rejected: res.LostRecords,
+	}
+	s.mu.Lock()
+	us, ok := s.users[req.User]
+	if !ok {
+		us = &UserStats{}
+		s.users[req.User] = us
+		s.stats.Users++
+	}
+	us.Uploads++
+	us.RecordsIn += t.Len()
+	us.RecordsPublished += res.ProtectedRecords()
+	us.RecordsRejected += res.LostRecords
+	us.Pieces += len(res.Pieces)
+	s.stats.Uploads++
+	s.stats.RecordsIn += t.Len()
+	s.stats.RecordsPublished += res.ProtectedRecords()
+	s.stats.RecordsRejected += res.LostRecords
+	for _, p := range res.Pieces {
+		pub := p.Trace
+		if pub.User == req.User {
+			// Whole-trace pieces keep the engine-side identity; the
+			// middleware never publishes a raw uploader ID, so relabel
+			// with a server-scoped pseudonym.
+			s.pseudo++
+			pub = pub.WithUser(fmt.Sprintf("pub-%06d", s.pseudo))
+		}
+		s.published = append(s.published, pub)
+		resp.Pieces++
+		resp.Mechanisms = append(resp.Mechanisms, p.Mechanism)
+	}
+	s.stats.PublishedTraces = len(s.published)
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	traces := make([]trace.Trace, len(s.published))
+	copy(traces, s.published)
+	s.mu.Unlock()
+	// The published dataset is assembled fresh so fragment order never
+	// leaks upload order per user.
+	d := trace.NewDataset("published", traces)
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleDatasetCSV(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	traces := make([]trace.Trace, len(s.published))
+	copy(traces, s.published)
+	s.mu.Unlock()
+	d := trace.NewDataset("published", traces)
+	w.Header().Set("Content-Type", "text/csv")
+	if err := traceio.WriteCSV(w, d); err != nil {
+		// Too late for a status change; the truncated body signals the
+		// failure to the client-side CSV parser.
+		return
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/users/")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing user id")
+		return
+	}
+	s.mu.Lock()
+	us, ok := s.users[id]
+	var copyStats UserStats
+	if ok {
+		copyStats = *us
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown user")
+		return
+	}
+	writeJSON(w, http.StatusOK, copyStats)
+}
+
+// Users lists the known uploader IDs, sorted (diagnostics).
+func (s *Server) Users() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.users))
+	for u := range s.users {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the global counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do but note it.
+		fmt.Fprintf(w, "\n")
+	}
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg})
+}

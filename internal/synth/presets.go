@@ -1,0 +1,192 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"mood/internal/geo"
+)
+
+// Scale selects how large the generated datasets are. The experiment
+// harness and the benchmarks use ScaleBench; ScalePaper reproduces the
+// user counts of the paper's Table 1.
+type Scale int
+
+const (
+	// ScaleTiny is for unit tests (a handful of users, few days).
+	ScaleTiny Scale = iota + 1
+	// ScaleBench is CI-sized: enough users for the figures' shape.
+	ScaleBench
+	// ScalePaper matches Table 1 user counts (slow: minutes per run).
+	ScalePaper
+)
+
+// ParseScale converts a flag string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "bench":
+		return ScaleBench, nil
+	case "paper":
+		return ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("synth: unknown scale %q (want tiny, bench or paper)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleBench:
+		return "bench"
+	case ScalePaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+func (s Scale) users(paper int) int {
+	switch s {
+	case ScaleTiny:
+		n := paper / 12
+		if n < 6 {
+			n = 6
+		}
+		return n
+	case ScaleBench:
+		n := paper / 5
+		if n < 10 {
+			n = 10
+		}
+		return n
+	default:
+		return paper
+	}
+}
+
+func (s Scale) days() int {
+	switch s {
+	case ScaleTiny:
+		return 8
+	case ScaleBench:
+		return 12
+	default:
+		return 30
+	}
+}
+
+// City anchor points of the four datasets (Table 1).
+var (
+	geneva       = geo.Point{Lat: 46.2044, Lon: 6.1432}
+	lyonCity     = geo.Point{Lat: 45.7640, Lon: 4.8357}
+	beijing      = geo.Point{Lat: 39.9042, Lon: 116.4074}
+	sanFrancisco = geo.Point{Lat: 37.7749, Lon: -122.4194}
+)
+
+// MDCLike models the MDC dataset: 141 phone users around Geneva. A
+// compact city with shared residential districts: many users overlap in
+// heatmap cells, and a noticeable fraction changes habits mid-period.
+func MDCLike(scale Scale, seed uint64) Config {
+	return Config{
+		Name:            "mdc",
+		Center:          geneva,
+		Radius:          9000,
+		NumUsers:        scale.users(141),
+		Days:            scale.days(),
+		Seed:            seed,
+		HomeClusters:    8,
+		WorkClusters:    4,
+		ClusterRadius:   350,
+		DriftFraction:   0.22,
+		CourierFraction: 0.08,
+		DwellSample:     10 * time.Minute,
+		MoveSample:      2 * time.Minute,
+		GPSNoise:        12,
+	}
+}
+
+// PrivamovLike models the Privamov campaign: 41 GPS-dense users in Lyon
+// with highly distinctive mobility (few are naturally protected).
+func PrivamovLike(scale Scale, seed uint64) Config {
+	return Config{
+		Name:            "privamov",
+		Center:          lyonCity,
+		Radius:          8000,
+		NumUsers:        scale.users(41),
+		Days:            scale.days(),
+		Seed:            seed,
+		HomeClusters:    12,
+		WorkClusters:    6,
+		ClusterRadius:   250,
+		DriftFraction:   0.08,
+		CourierFraction: 0.1,
+		DwellSample:     5 * time.Minute,
+		MoveSample:      time.Minute,
+		GPSNoise:        8,
+	}
+}
+
+// GeolifeLike models the Geolife slice the paper uses: 41 users in a
+// much larger city (Beijing) with noisier positioning and wider travel.
+func GeolifeLike(scale Scale, seed uint64) Config {
+	return Config{
+		Name:            "geolife",
+		Center:          beijing,
+		Radius:          18000,
+		NumUsers:        scale.users(41),
+		Days:            scale.days(),
+		Seed:            seed,
+		HomeClusters:    10,
+		WorkClusters:    5,
+		ClusterRadius:   400,
+		DriftFraction:   0.2,
+		CourierFraction: 0.08,
+		DwellSample:     8 * time.Minute,
+		MoveSample:      90 * time.Second,
+		GPSNoise:        25,
+	}
+}
+
+// CabspottingLike models the San Francisco taxi fleet: 531 cabs whose
+// traces are fare sequences. Zone sigmas span tight neighbourhood cabs
+// (re-identifiable) to city-wide roamers (naturally protected).
+func CabspottingLike(scale Scale, seed uint64) Config {
+	return Config{
+		Name:         "cabspotting",
+		Center:       sanFrancisco,
+		Radius:       10000,
+		NumUsers:     scale.users(531),
+		Days:         scale.days(),
+		Seed:         seed,
+		TaxiFraction: 1,
+		ZoneSigmaMin: 700,
+		ZoneSigmaMax: 9000,
+		DwellSample:  5 * time.Minute,
+		MoveSample:   time.Minute,
+		GPSNoise:     15,
+	}
+}
+
+// Presets returns the four dataset configs in the paper's Table 1 order.
+func Presets(scale Scale, seed uint64) []Config {
+	return []Config{
+		CabspottingLike(scale, seed),
+		GeolifeLike(scale, seed),
+		MDCLike(scale, seed),
+		PrivamovLike(scale, seed),
+	}
+}
+
+// PresetByName returns the preset with the given dataset name.
+func PresetByName(name string, scale Scale, seed uint64) (Config, error) {
+	for _, cfg := range Presets(scale, seed) {
+		if cfg.Name == name {
+			return cfg, nil
+		}
+	}
+	return Config{}, fmt.Errorf("synth: unknown dataset %q (want cabspotting, geolife, mdc or privamov)", name)
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Dataset is a named collection of per-user traces. Traces are kept
+// sorted by user ID so every iteration order in the pipeline is
+// deterministic.
+type Dataset struct {
+	Name   string  `json:"name"`
+	Traces []Trace `json:"traces"`
+}
+
+// NewDataset builds a dataset from traces, sorting them by user ID.
+// Traces with duplicate user IDs are merged.
+func NewDataset(name string, traces []Trace) Dataset {
+	byUser := make(map[string][]Trace, len(traces))
+	users := make([]string, 0, len(traces))
+	for _, t := range traces {
+		if _, seen := byUser[t.User]; !seen {
+			users = append(users, t.User)
+		}
+		byUser[t.User] = append(byUser[t.User], t)
+	}
+	sort.Strings(users)
+	out := make([]Trace, 0, len(users))
+	for _, u := range users {
+		ts := byUser[u]
+		if len(ts) == 1 {
+			out = append(out, ts[0])
+		} else {
+			out = append(out, Merge(ts...))
+		}
+	}
+	return Dataset{Name: name, Traces: out}
+}
+
+// Users returns the sorted user IDs present in the dataset.
+func (d Dataset) Users() []string {
+	users := make([]string, len(d.Traces))
+	for i, t := range d.Traces {
+		users[i] = t.User
+	}
+	return users
+}
+
+// NumUsers returns the number of distinct users.
+func (d Dataset) NumUsers() int { return len(d.Traces) }
+
+// NumRecords returns |D|_r, the total record count of the dataset
+// (the unit of the paper's data-loss metric, Eq. 7).
+func (d Dataset) NumRecords() int {
+	var n int
+	for _, t := range d.Traces {
+		n += t.Len()
+	}
+	return n
+}
+
+// Trace returns the trace of user, and whether it exists.
+func (d Dataset) Trace(user string) (Trace, bool) {
+	i := sort.Search(len(d.Traces), func(i int) bool { return d.Traces[i].User >= user })
+	if i < len(d.Traces) && d.Traces[i].User == user {
+		return d.Traces[i], true
+	}
+	return Trace{}, false
+}
+
+// Filter returns a dataset with only the traces for which keep returns
+// true.
+func (d Dataset) Filter(keep func(Trace) bool) Dataset {
+	out := make([]Trace, 0, len(d.Traces))
+	for _, t := range d.Traces {
+		if keep(t) {
+			out = append(out, t)
+		}
+	}
+	return Dataset{Name: d.Name, Traces: out}
+}
+
+// Map returns a dataset with f applied to every trace. Traces mapped to
+// empty are dropped.
+func (d Dataset) Map(f func(Trace) Trace) Dataset {
+	out := make([]Trace, 0, len(d.Traces))
+	for _, t := range d.Traces {
+		if nt := f(t); !nt.Empty() {
+			out = append(out, nt)
+		}
+	}
+	return Dataset{Name: d.Name, Traces: out}
+}
+
+// Window restricts every trace to [from, to) and drops users that end up
+// empty.
+func (d Dataset) Window(from, to int64) Dataset {
+	return d.Map(func(t Trace) Trace { return t.Window(from, to) })
+}
+
+// TimeSpan returns the earliest start and the latest end across traces.
+func (d Dataset) TimeSpan() (start, end int64) {
+	first := true
+	for _, t := range d.Traces {
+		if t.Empty() {
+			continue
+		}
+		if first || t.Start() < start {
+			start = t.Start()
+		}
+		if first || t.End() > end {
+			end = t.End()
+		}
+		first = false
+	}
+	return start, end
+}
+
+// SplitTrainTest splits each user's trace chronologically at the given
+// fraction of the dataset's global time span and keeps only users active
+// in both halves, mirroring the paper's 15-day background / 15-day test
+// protocol (§4.2). minRecords is the activity threshold per half.
+func (d Dataset) SplitTrainTest(frac float64, minRecords int) (train, test Dataset) {
+	start, end := d.TimeSpan()
+	cut := start + int64(float64(end-start)*frac)
+	trainTraces := make([]Trace, 0, len(d.Traces))
+	testTraces := make([]Trace, 0, len(d.Traces))
+	for _, t := range d.Traces {
+		b, a := t.SplitAt(cut)
+		if b.Len() >= minRecords && a.Len() >= minRecords {
+			trainTraces = append(trainTraces, b)
+			testTraces = append(testTraces, a)
+		}
+	}
+	return Dataset{Name: d.Name + "/train", Traces: trainTraces},
+		Dataset{Name: d.Name + "/test", Traces: testTraces}
+}
+
+// Validate checks every trace and that user IDs are unique and sorted.
+func (d Dataset) Validate() error {
+	for i, t := range d.Traces {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("dataset %q: %w", d.Name, err)
+		}
+		if i > 0 && d.Traces[i-1].User >= t.User {
+			return fmt.Errorf("dataset %q: traces not strictly sorted by user at index %d (%q >= %q)",
+				d.Name, i, d.Traces[i-1].User, t.User)
+		}
+	}
+	return nil
+}
+
+// String summarises the dataset.
+func (d Dataset) String() string {
+	return fmt.Sprintf("dataset(%s, %d users, %d records)", d.Name, d.NumUsers(), d.NumRecords())
+}
+
+// IDRenewer hands out fresh pseudonyms. The fine-grained stage of MooD
+// publishes each protected sub-trace under a new identity so that
+// sub-traces "seem to come from different users" (§3.4).
+type IDRenewer struct {
+	prefix string
+	next   int
+}
+
+// NewIDRenewer returns a renewer whose pseudonyms start with prefix.
+func NewIDRenewer(prefix string) *IDRenewer {
+	return &IDRenewer{prefix: prefix}
+}
+
+// Renew relabels the trace with a fresh pseudonym and returns it.
+func (r *IDRenewer) Renew(t Trace) Trace {
+	r.next++
+	return t.WithUser(r.prefix + "-" + strconv.Itoa(r.next))
+}
+
+// RenewAll relabels every trace with a fresh pseudonym.
+func (r *IDRenewer) RenewAll(traces []Trace) []Trace {
+	out := make([]Trace, len(traces))
+	for i, t := range traces {
+		out[i] = r.Renew(t)
+	}
+	return out
+}
+
+// Day is a convenience constant for chunking (24 h in seconds).
+const Day = 24 * time.Hour

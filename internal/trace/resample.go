@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"time"
+)
+
+// Downsample returns a copy of t keeping at most one record per period,
+// the first of each period bucket. Dataset preparation uses it to
+// normalise wildly different GPS sampling rates before comparing
+// datasets (the public mobility datasets range from 1 s to 10 min
+// between fixes).
+func (t Trace) Downsample(period time.Duration) Trace {
+	if t.Empty() || period <= 0 {
+		return t.Clone()
+	}
+	sec := int64(period / time.Second)
+	if sec <= 0 {
+		sec = 1
+	}
+	out := make([]Record, 0, t.Len())
+	lastBucket := int64(-1 << 62)
+	for _, r := range t.Records {
+		bucket := r.TS / sec
+		if bucket != lastBucket {
+			out = append(out, r)
+			lastBucket = bucket
+		}
+	}
+	return Trace{User: t.User, Records: out}
+}
+
+// Thin returns a copy of t keeping every k-th record (k <= 1 keeps
+// everything).
+func (t Trace) Thin(k int) Trace {
+	if k <= 1 {
+		return t.Clone()
+	}
+	out := make([]Record, 0, (t.Len()+k-1)/k)
+	for i := 0; i < t.Len(); i += k {
+		out = append(out, t.Records[i])
+	}
+	return Trace{User: t.User, Records: out}
+}
+
+// Downsample applies Trace.Downsample to every trace of the dataset.
+func (d Dataset) Downsample(period time.Duration) Dataset {
+	return d.Map(func(t Trace) Trace { return t.Downsample(period) })
+}

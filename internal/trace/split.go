@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"time"
+
+	"mood/internal/geo"
+)
+
+// Splitter cuts a trace into sub-traces. The paper's fine-grained stage
+// uses fixed time slices; §6 names inter-POI and time-gap splitting as
+// future directions, which we implement as alternatives and compare in
+// the ablation benchmarks.
+type Splitter interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Split cuts t into non-empty sub-traces covering all records.
+	Split(t Trace) []Trace
+}
+
+// HalfSplitter splits a trace at its temporal midpoint (the paper's
+// Split_in_half, Algorithm 1 line 28).
+type HalfSplitter struct{}
+
+// Name implements Splitter.
+func (HalfSplitter) Name() string { return "half" }
+
+// Split implements Splitter.
+func (HalfSplitter) Split(t Trace) []Trace {
+	a, b := t.SplitHalf()
+	out := make([]Trace, 0, 2)
+	if !a.Empty() {
+		out = append(out, a)
+	}
+	if !b.Empty() {
+		out = append(out, b)
+	}
+	return out
+}
+
+// FixedDurationSplitter cuts a trace into chunks of at most D duration
+// (the paper's "fixed time slices", e.g. 24 h crowd-sensing uploads).
+type FixedDurationSplitter struct {
+	D time.Duration
+}
+
+// Name implements Splitter.
+func (s FixedDurationSplitter) Name() string { return "fixed-" + s.D.String() }
+
+// Split implements Splitter.
+func (s FixedDurationSplitter) Split(t Trace) []Trace { return t.Chunks(s.D) }
+
+// GapSplitter cuts a trace wherever two consecutive records are more
+// than Gap apart in time — the natural pauses in mobility data
+// (paper §6, "time gaps in mobility traces").
+type GapSplitter struct {
+	Gap time.Duration
+}
+
+// Name implements Splitter.
+func (s GapSplitter) Name() string { return "gap-" + s.Gap.String() }
+
+// Split implements Splitter.
+func (s GapSplitter) Split(t Trace) []Trace {
+	if t.Empty() {
+		return nil
+	}
+	gapSec := int64(s.Gap / time.Second)
+	if gapSec <= 0 {
+		return []Trace{t.Clone()}
+	}
+	var out []Trace
+	start := 0
+	for i := 1; i < t.Len(); i++ {
+		if t.Records[i].TS-t.Records[i-1].TS > gapSec {
+			out = append(out, subTrace(t, start, i))
+			start = i
+		}
+	}
+	out = append(out, subTrace(t, start, t.Len()))
+	return out
+}
+
+// DistanceSplitter cuts a trace every time the cumulative travelled
+// distance exceeds D meters (the paper's "fixed distance slices").
+type DistanceSplitter struct {
+	D float64
+}
+
+// Name implements Splitter.
+func (s DistanceSplitter) Name() string { return "distance" }
+
+// Split implements Splitter.
+func (s DistanceSplitter) Split(t Trace) []Trace {
+	if t.Empty() {
+		return nil
+	}
+	if s.D <= 0 {
+		return []Trace{t.Clone()}
+	}
+	var out []Trace
+	start := 0
+	var acc float64
+	for i := 1; i < t.Len(); i++ {
+		acc += recordDistance(t.Records[i-1], t.Records[i])
+		if acc >= s.D {
+			out = append(out, subTrace(t, start, i))
+			start = i
+			acc = 0
+		}
+	}
+	if start < t.Len() {
+		out = append(out, subTrace(t, start, t.Len()))
+	}
+	return out
+}
+
+func subTrace(t Trace, lo, hi int) Trace {
+	rs := make([]Record, hi-lo)
+	copy(rs, t.Records[lo:hi])
+	return Trace{User: t.User, Records: rs}
+}
+
+func recordDistance(a, b Record) float64 {
+	return geo.FastDistance(a.Point(), b.Point())
+}

@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"mood/internal/geo"
+)
+
+var lyon = geo.Point{Lat: 45.7640, Lon: 4.8357}
+
+// lineTrace builds a trace of n records, one per stepSec seconds,
+// moving east 10 m per step.
+func lineTrace(user string, n int, start int64, stepSec int64) Trace {
+	rs := make([]Record, n)
+	for i := 0; i < n; i++ {
+		p := geo.Offset(lyon, float64(i)*10, 0)
+		rs[i] = At(p, start+int64(i)*stepSec)
+	}
+	return Trace{User: user, Records: rs}
+}
+
+func TestNewSortsRecords(t *testing.T) {
+	rs := []Record{
+		At(lyon, 300),
+		At(lyon, 100),
+		At(lyon, 200),
+	}
+	tr := New("u", rs)
+	if !tr.Sorted() {
+		t.Fatal("New must sort records")
+	}
+	if tr.Start() != 100 || tr.End() != 300 {
+		t.Fatalf("start/end = %v/%v", tr.Start(), tr.End())
+	}
+	// Caller's slice must be untouched.
+	if rs[0].TS != 300 {
+		t.Fatal("New mutated the caller's slice")
+	}
+}
+
+func TestEmptyTraceAccessors(t *testing.T) {
+	var tr Trace
+	if !tr.Empty() || tr.Len() != 0 {
+		t.Fatal("zero trace should be empty")
+	}
+	if tr.Start() != 0 || tr.End() != 0 || tr.Duration() != 0 {
+		t.Fatal("empty trace accessors should be zero")
+	}
+	if tr.PathLength() != 0 {
+		t.Fatal("empty path length")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("empty trace must validate: %v", err)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	tr := lineTrace("u", 11, 1000, 60)
+	if got := tr.Duration(); got != 10*time.Minute {
+		t.Fatalf("Duration = %v, want 10m", got)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := lineTrace("u", 10, 0, 10) // ts 0..90
+	w := tr.Window(20, 50)          // ts 20,30,40
+	if w.Len() != 3 {
+		t.Fatalf("window len = %d, want 3", w.Len())
+	}
+	if w.Start() != 20 || w.End() != 40 {
+		t.Fatalf("window span = [%d,%d]", w.Start(), w.End())
+	}
+	// Window is a copy: mutating it must not touch the original.
+	w.Records[0].TS = 999
+	if tr.Records[2].TS != 20 {
+		t.Fatal("Window shares storage with the source trace")
+	}
+}
+
+func TestWindowEdges(t *testing.T) {
+	tr := lineTrace("u", 5, 100, 10) // 100..140
+	if w := tr.Window(0, 100); !w.Empty() {
+		t.Fatal("window before trace should be empty")
+	}
+	if w := tr.Window(141, 1000); !w.Empty() {
+		t.Fatal("window after trace should be empty")
+	}
+	if w := tr.Window(100, 141); w.Len() != 5 {
+		t.Fatal("full window should contain all records")
+	}
+}
+
+func TestSplitAtPreservesRecords(t *testing.T) {
+	f := func(n uint8, cutFrac float64) bool {
+		tr := lineTrace("u", int(n%50)+2, 0, 30)
+		cut := int64(float64(tr.End()) * cutFrac)
+		b, a := tr.SplitAt(cut)
+		if b.Len()+a.Len() != tr.Len() {
+			return false
+		}
+		for _, r := range b.Records {
+			if r.TS >= cut {
+				return false
+			}
+		}
+		for _, r := range a.Records {
+			if r.TS < cut {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 200; i++ {
+		if !f(uint8(i), float64(i%100)/100) {
+			t.Fatalf("SplitAt invariant violated at i=%d", i)
+		}
+	}
+}
+
+func TestSplitHalfInvariants(t *testing.T) {
+	tr := lineTrace("u", 101, 0, 60)
+	a, b := tr.SplitHalf()
+	if a.Len()+b.Len() != tr.Len() {
+		t.Fatalf("record count changed: %d + %d != %d", a.Len(), b.Len(), tr.Len())
+	}
+	if a.Empty() || b.Empty() {
+		t.Fatal("both halves should be non-empty for a long trace")
+	}
+	if a.End() >= b.Start() {
+		t.Fatal("halves must not overlap in time")
+	}
+	// Time spans should be roughly balanced.
+	if a.Duration() < tr.Duration()/4 || b.Duration() < tr.Duration()/4 {
+		t.Fatalf("unbalanced halves: %v vs %v", a.Duration(), b.Duration())
+	}
+}
+
+func TestSplitHalfDegenerateTimestamps(t *testing.T) {
+	// All records share one timestamp: the fallback must still split by
+	// count so recursion terminates.
+	rs := make([]Record, 10)
+	for i := range rs {
+		rs[i] = At(geo.Offset(lyon, float64(i), 0), 500)
+	}
+	tr := Trace{User: "u", Records: rs}
+	a, b := tr.SplitHalf()
+	if a.Len() != 5 || b.Len() != 5 {
+		t.Fatalf("degenerate split = %d/%d, want 5/5", a.Len(), b.Len())
+	}
+}
+
+func TestSplitHalfTiny(t *testing.T) {
+	one := lineTrace("u", 1, 0, 60)
+	a, b := one.SplitHalf()
+	if a.Len() != 1 || !b.Empty() {
+		t.Fatalf("single-record split = %d/%d", a.Len(), b.Len())
+	}
+}
+
+func TestChunks(t *testing.T) {
+	// 48 hours of data at 1 sample/hour -> two 24h chunks + boundary.
+	tr := lineTrace("u", 49, 0, 3600)
+	chunks := tr.Chunks(24 * time.Hour)
+	if len(chunks) != 3 { // [0,24h) [24h,48h) [48h,48h]
+		t.Fatalf("len(chunks) = %d, want 3", len(chunks))
+	}
+	var total int
+	for i, c := range chunks {
+		if c.Empty() {
+			t.Fatalf("chunk %d empty", i)
+		}
+		if c.Duration() > 24*time.Hour {
+			t.Fatalf("chunk %d longer than 24h: %v", i, c.Duration())
+		}
+		total += c.Len()
+	}
+	if total != tr.Len() {
+		t.Fatalf("chunking lost records: %d != %d", total, tr.Len())
+	}
+}
+
+func TestChunksNonPositiveDuration(t *testing.T) {
+	tr := lineTrace("u", 5, 0, 60)
+	chunks := tr.Chunks(0)
+	if len(chunks) != 1 || chunks[0].Len() != 5 {
+		t.Fatal("non-positive duration must return the whole trace")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := lineTrace("u", 3, 0, 10)
+	b := lineTrace("u", 3, 5, 10)
+	m := Merge(a, b)
+	if m.Len() != 6 {
+		t.Fatalf("merge len = %d", m.Len())
+	}
+	if !m.Sorted() {
+		t.Fatal("merge must sort")
+	}
+	if m.User != "u" {
+		t.Fatalf("merge user = %q", m.User)
+	}
+}
+
+func TestAppendKeepsSorted(t *testing.T) {
+	tr := lineTrace("u", 3, 100, 10)
+	tr2 := tr.Append(At(lyon, 50), At(lyon, 115))
+	if !tr2.Sorted() || tr2.Len() != 5 {
+		t.Fatalf("append broke ordering: %v", tr2.Records)
+	}
+	if tr.Len() != 3 {
+		t.Fatal("Append must not mutate the receiver")
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	tr := lineTrace("u", 11, 0, 60) // 10 hops of 10 m
+	got := tr.PathLength()
+	if got < 95 || got > 105 {
+		t.Fatalf("PathLength = %v, want ~100", got)
+	}
+}
+
+func TestValidateCatchesBadData(t *testing.T) {
+	bad := Trace{User: "u", Records: []Record{
+		{Lat: 95, Lon: 0, TS: 1},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid latitude must fail validation")
+	}
+	unsorted := Trace{User: "u", Records: []Record{
+		At(lyon, 10), At(lyon, 5),
+	}}
+	if err := unsorted.Validate(); err == nil {
+		t.Fatal("unsorted trace must fail validation")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := lineTrace("u", 3, 0, 10)
+	c := tr.Clone()
+	c.Records[0].Lat = 0
+	if tr.Records[0].Lat == 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRecordTime(t *testing.T) {
+	r := At(lyon, 1700000000)
+	if got := r.Time().Unix(); got != 1700000000 {
+		t.Fatalf("Time().Unix() = %d", got)
+	}
+	if r.Time().Location() != time.UTC {
+		t.Fatal("Time must be UTC")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	tr := lineTrace("u", 100, 0, 10) // one record / 10 s
+	ds := tr.Downsample(time.Minute)
+	if ds.Len() >= tr.Len()/5+5 || ds.Len() < tr.Len()/6-1 {
+		t.Fatalf("downsampled to %d records from %d", ds.Len(), tr.Len())
+	}
+	// One record per minute bucket.
+	seen := map[int64]bool{}
+	for _, r := range ds.Records {
+		b := r.TS / 60
+		if seen[b] {
+			t.Fatal("two records in the same bucket")
+		}
+		seen[b] = true
+	}
+	// Zero period and empty trace are no-ops.
+	if tr.Downsample(0).Len() != tr.Len() {
+		t.Fatal("zero period must keep everything")
+	}
+	if got := (Trace{}).Downsample(time.Minute); !got.Empty() {
+		t.Fatal("empty trace must stay empty")
+	}
+}
+
+func TestThin(t *testing.T) {
+	tr := lineTrace("u", 10, 0, 10)
+	th := tr.Thin(3)
+	if th.Len() != 4 { // indices 0,3,6,9
+		t.Fatalf("thinned to %d, want 4", th.Len())
+	}
+	if th.Records[1].TS != tr.Records[3].TS {
+		t.Fatal("wrong records kept")
+	}
+	if tr.Thin(1).Len() != tr.Len() || tr.Thin(0).Len() != tr.Len() {
+		t.Fatal("k<=1 must keep everything")
+	}
+}
+
+func TestDatasetDownsample(t *testing.T) {
+	d := sampleDataset()
+	ds := d.Downsample(2 * time.Minute)
+	if ds.NumRecords() >= d.NumRecords() {
+		t.Fatalf("dataset downsample did not shrink: %d >= %d", ds.NumRecords(), d.NumRecords())
+	}
+	if ds.NumUsers() != d.NumUsers() {
+		t.Fatal("users lost during downsampling")
+	}
+}

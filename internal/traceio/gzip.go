@@ -1,0 +1,72 @@
+package traceio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mood/internal/trace"
+)
+
+// SaveFile writes the dataset to path, choosing the format from the
+// extension: .csv, .jsonl, and their gzipped variants (.csv.gz,
+// .jsonl.gz).
+func SaveFile(path string, d trace.Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("traceio: close %s: %w", path, cerr)
+		}
+	}()
+
+	var w io.Writer = f
+	var zw *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+	}
+	if strings.Contains(path, ".jsonl") {
+		err = WriteJSONL(w, d)
+	} else {
+		err = WriteCSV(w, d)
+	}
+	if err != nil {
+		return err
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("traceio: gzip close: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadFile reads a dataset from path, choosing the format from the
+// extension: .csv, .jsonl, and their gzipped variants.
+func LoadFile(path, name string) (trace.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Dataset{}, fmt.Errorf("traceio: %w", err)
+	}
+	defer f.Close()
+
+	var r io.Reader = bufio.NewReader(f)
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return trace.Dataset{}, fmt.Errorf("traceio: gzip: %w", err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	if strings.Contains(path, ".jsonl") {
+		return ReadJSONL(r, name)
+	}
+	return ReadCSV(r, name)
+}

@@ -1,0 +1,257 @@
+// Package mood is a user-centric location-privacy middleware: it
+// reproduces MooD ("MObility Data Privacy as Orphan Disease", Khalfoun
+// et al., ACM Middleware 2019), a system that protects every user of a
+// mobility dataset against re-identification attacks by combining
+// off-the-shelf Location Privacy Protection Mechanisms (LPPMs).
+//
+// The core idea: for each user, try every single LPPM; if none resists
+// the attack set, try every ordered composition of LPPMs; if the user is
+// still re-identifiable (an "orphan user"), split the trace into daily
+// chunks, recursively halve them, and protect each sub-trace
+// independently under fresh pseudonyms. Among protecting
+// transformations, the one with the lowest spatio-temporal distortion is
+// published.
+//
+// # Quick start
+//
+//	background := ... // []mood.Trace of past, non-sensitive mobility
+//	pipeline, err := mood.NewPipeline(background, mood.WithSeed(42))
+//	if err != nil { ... }
+//	result, err := pipeline.Protect(todaysTrace)
+//	if err != nil { ... }
+//	for _, piece := range result.Pieces {
+//	    publish(piece.Trace) // resists AP-, POI- and PIT-attacks
+//	}
+//
+// The subpackages under internal/ implement the substrates: trace data
+// model, geodesy, POI extraction, heatmaps, Markov chains, the three
+// attacks, the three LPPMs, the evaluation harness that regenerates
+// every figure of the paper, and a crowd-sensing HTTP middleware.
+package mood
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mood/internal/attack"
+	"mood/internal/core"
+	"mood/internal/lppm"
+	"mood/internal/metrics"
+	"mood/internal/trace"
+)
+
+// Re-exported data model types. These aliases make the internal packages'
+// types part of the public API without duplicating them.
+type (
+	// Record is a spatio-temporal sample (lat, lon, Unix seconds).
+	Record = trace.Record
+	// Trace is one user's time-ordered mobility trace.
+	Trace = trace.Trace
+	// Dataset is a named collection of per-user traces.
+	Dataset = trace.Dataset
+	// Mechanism is a Location Privacy Protection Mechanism.
+	Mechanism = lppm.Mechanism
+	// Attack is a user re-identification attack.
+	Attack = attack.Attack
+	// Result is the outcome of protecting one user.
+	Result = core.Result
+	// Piece is one published fragment of protected data.
+	Piece = core.Piece
+	// Utility scores obfuscations (lower STD = better by default).
+	Utility = metrics.Utility
+)
+
+// NewTrace builds a sorted trace for a user (records are copied).
+func NewTrace(user string, records []Record) Trace { return trace.New(user, records) }
+
+// NewDataset builds a dataset sorted by user (duplicate users merge).
+func NewDataset(name string, traces []Trace) Dataset { return trace.NewDataset(name, traces) }
+
+// STD computes the paper's spatio-temporal distortion metric (Eq. 8).
+func STD(original, obfuscated Trace) float64 { return metrics.STD(original, obfuscated) }
+
+// Pipeline bundles trained attacks, the LPPM portfolio and the MooD
+// engine behind one handle. Build it once from background knowledge and
+// reuse it; it is safe for concurrent use.
+type Pipeline struct {
+	engine *core.Engine
+	hybrid core.Hybrid
+	atks   attack.Set
+	lppms  []Mechanism
+}
+
+// options collects the pipeline configuration.
+type options struct {
+	seed      uint64
+	delta     time.Duration
+	chunk     time.Duration
+	epsilon   float64
+	trlRadius float64
+	cellSize  float64
+	greedy    bool
+	kanon     int
+	extraMech []Mechanism
+	attacks   attack.Set
+	utility   Utility
+}
+
+// Option configures NewPipeline.
+type Option func(*options)
+
+// WithSeed fixes the random seed; a given (seed, user) pair reproduces
+// the published output bit for bit.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithDelta overrides δ, the minimum sub-trace duration of the
+// fine-grained stage (default 4 h).
+func WithDelta(d time.Duration) Option { return func(o *options) { o.delta = d } }
+
+// WithChunk overrides the initial fine-grained slice (default 24 h).
+func WithChunk(d time.Duration) Option { return func(o *options) { o.chunk = d } }
+
+// WithEpsilon overrides Geo-I's privacy parameter (default 0.01 /m).
+func WithEpsilon(eps float64) Option { return func(o *options) { o.epsilon = eps } }
+
+// WithTRLRadius overrides TRL's assisted-location range (default 1 km).
+func WithTRLRadius(r float64) Option { return func(o *options) { o.trlRadius = r } }
+
+// WithCellSize overrides the heatmap cell size used by HMC and the
+// AP-attack (default 800 m).
+func WithCellSize(s float64) Option { return func(o *options) { o.cellSize = s } }
+
+// WithGreedySearch switches the composition search from the paper's
+// brute force to the §6 heuristic (fewer attack evaluations, possibly
+// suboptimal utility).
+func WithGreedySearch() Option { return func(o *options) { o.greedy = true } }
+
+// WithExtraMechanisms appends custom LPPMs to the portfolio; they take
+// part in single and composition search.
+func WithExtraMechanisms(ms ...Mechanism) Option {
+	return func(o *options) { o.extraMech = append(o.extraMech, ms...) }
+}
+
+// WithAttacks replaces the default attack set (AP + POI + PIT). The
+// attacks are trained on the pipeline's background knowledge.
+func WithAttacks(as ...Attack) Option {
+	return func(o *options) { o.attacks = attack.Set(as) }
+}
+
+// WithUtility replaces the utility metric of the best-LPPM selection.
+func WithUtility(u Utility) Option { return func(o *options) { o.utility = u } }
+
+// WithKAnonymity adds a k-anonymity generalisation mechanism to the
+// portfolio (paper §6: MooD extends with further state-of-the-art
+// LPPMs). Every location it publishes is coarsened to a region at least
+// k background users visit.
+func WithKAnonymity(k int) Option { return func(o *options) { o.kanon = k } }
+
+// NewPipeline trains the attack set on background knowledge, builds the
+// LPPM portfolio (HMC → Geo-I → TRL, in the paper's distortion order)
+// and returns a ready-to-use Pipeline.
+//
+// The background traces play the paper's H: the attacker-side history
+// used both to train the re-identification attacks and as HMC's pool of
+// imitation targets. They must contain at least two non-empty users.
+func NewPipeline(background []Trace, opts ...Option) (*Pipeline, error) {
+	if len(background) == 0 {
+		return nil, errors.New("mood: empty background knowledge")
+	}
+	o := options{
+		epsilon:   lppm.DefaultEpsilon,
+		trlRadius: lppm.DefaultTRLRadius,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	hmc, err := lppm.NewHMC(o.cellSize, background)
+	if err != nil {
+		return nil, fmt.Errorf("mood: building HMC: %w", err)
+	}
+	portfolio := []Mechanism{
+		hmc,
+		lppm.GeoI{Epsilon: o.epsilon},
+		lppm.TRL{Radius: o.trlRadius, NumAssisted: 3},
+	}
+	if o.kanon > 0 {
+		ka, err := lppm.NewKAnon(o.kanon, background)
+		if err != nil {
+			return nil, fmt.Errorf("mood: building KAnon: %w", err)
+		}
+		portfolio = append(portfolio, ka)
+	}
+	portfolio = append(portfolio, o.extraMech...)
+
+	atks := o.attacks
+	if atks == nil {
+		ap := attack.NewAP()
+		if o.cellSize > 0 {
+			ap.CellSize = o.cellSize
+		}
+		atks = attack.Set{ap, attack.NewPOIAttack(), attack.NewPIT()}
+	}
+	if err := attack.TrainAll(atks, background); err != nil {
+		return nil, fmt.Errorf("mood: %w", err)
+	}
+
+	var search core.SearchStrategy
+	if o.greedy {
+		search = core.Greedy{}
+	}
+	return &Pipeline{
+		engine: &core.Engine{
+			LPPMs:   portfolio,
+			Attacks: atks,
+			Utility: o.utility,
+			Delta:   o.delta,
+			Chunk:   o.chunk,
+			Seed:    o.seed,
+			Search:  search,
+		},
+		hybrid: core.Hybrid{LPPMs: portfolio, Attacks: atks, Utility: o.utility, Seed: o.seed},
+		atks:   atks,
+		lppms:  portfolio,
+	}, nil
+}
+
+// Protect runs MooD's Algorithm 1 on one trace.
+func (p *Pipeline) Protect(t Trace) (Result, error) { return p.engine.Protect(t) }
+
+// ProtectDataset protects every user of d in parallel.
+func (p *Pipeline) ProtectDataset(d Dataset) ([]Result, error) { return p.engine.ProtectDataset(d) }
+
+// ProtectHybrid applies the HybridLPPM baseline [22] instead of MooD:
+// best protecting single LPPM per user, no compositions, no splitting.
+func (p *Pipeline) ProtectHybrid(t Trace) (Result, error) { return p.hybrid.Protect(t) }
+
+// Publish assembles the protected dataset from results.
+func (p *Pipeline) Publish(name string, results []Result) Dataset {
+	return core.PublishDataset(name, results)
+}
+
+// DataLoss computes the paper's Eq. 7 over a batch of results.
+func (p *Pipeline) DataLoss(results []Result) float64 { return core.DataLoss(results) }
+
+// Classification buckets users by how they were protected
+// (Definitions 4-6 of the paper).
+type Classification = core.Classification
+
+// Classify buckets a batch of results by protection kind.
+func Classify(results []Result) Classification { return core.Classify(results) }
+
+// ReIdentifies reports whether any trained attack links t to user (the
+// protection predicate of Definitions 4-6).
+func (p *Pipeline) ReIdentifies(t Trace, user string) (bool, string) {
+	return p.atks.ReIdentifies(t, user)
+}
+
+// Mechanisms lists the LPPM portfolio in selection order.
+func (p *Pipeline) Mechanisms() []Mechanism {
+	out := make([]Mechanism, len(p.lppms))
+	copy(out, p.lppms)
+	return out
+}
+
+// Attacks lists the trained attack names.
+func (p *Pipeline) Attacks() []string { return p.atks.Names() }
