@@ -13,17 +13,22 @@
 package mood_test
 
 import (
+	"fmt"
+	"net/http/httptest"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"mood/internal/attack"
 	"mood/internal/core"
 	"mood/internal/eval"
+	"mood/internal/geo"
 	"mood/internal/lppm"
 	"mood/internal/mathx"
 	"mood/internal/metrics"
+	"mood/internal/service"
 	"mood/internal/synth"
 	"mood/internal/trace"
 )
@@ -517,6 +522,58 @@ func BenchmarkMoodProtectUser(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// echoProtector stands in for the engine so the benchmark measures the
+// service tier itself: middleware chain, worker pool and sharded state.
+type echoProtector struct{}
+
+func (echoProtector) Protect(t trace.Trace) (core.Result, error) {
+	return core.Result{
+		User:         t.User,
+		TotalRecords: t.Len(),
+		Pieces: []core.Piece{{
+			Trace:         t,
+			Mechanism:     "echo",
+			SourceRecords: t.Len(),
+		}},
+	}, nil
+}
+
+// BenchmarkServerUploadParallel drives concurrent synchronous uploads
+// from distinct users through the full HTTP path: each user hashes to
+// its own state shard and the worker pool bounds the engine fan-out.
+func BenchmarkServerUploadParallel(b *testing.B) {
+	srv, err := service.New(echoProtector{},
+		service.WithQueueDepth(1024), service.WithRateLimit(0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	base := geo.Point{Lat: 45.7, Lon: 4.8}
+	records := make([]trace.Record, 50)
+	for i := range records {
+		records[i] = trace.At(geo.Offset(base, float64(i)*10, 0), int64(1000+i*60))
+	}
+
+	var uid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := service.NewClient(hs.URL)
+		t := trace.New(fmt.Sprintf("bench-user-%d", uid.Add(1)), records)
+		for pb.Next() {
+			if _, err := c.Upload(t); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := srv.Stats()
+	b.ReportMetric(float64(st.Uploads)/float64(b.N), "uploads/op")
 }
 
 func BenchmarkSynthGenerate(b *testing.B) {

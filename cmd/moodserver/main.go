@@ -5,18 +5,28 @@
 // Usage:
 //
 //	moodserver -background bg.csv [-addr :8080] [-seed 42] [-greedy]
+//	           [-token T] [-state snapshot.json]
+//	           [-rate 0] [-burst 10] [-queue 64] [-workers 0]
+//	           [-request-timeout 2m]
 //
 // The background CSV plays the attacker-side knowledge H: it trains the
 // re-identification attacks the middleware defends against and feeds
 // HMC's pool of imitation targets.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests finish, the upload queue drains, and a final state snapshot
+// is flushed to -state so no accepted upload is lost.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mood"
@@ -31,6 +41,12 @@ func main() {
 }
 
 func run(args []string) error {
+	return runCtx(context.Background(), args)
+}
+
+// runCtx serves until the context is cancelled or a signal arrives,
+// then shuts down gracefully. Tests drive shutdown through the context.
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("moodserver", flag.ContinueOnError)
 	background := fs.String("background", "", "CSV file with the attacker-side background knowledge (required)")
 	addr := fs.String("addr", ":8080", "listen address")
@@ -38,7 +54,12 @@ func run(args []string) error {
 	greedy := fs.Bool("greedy", false, "use the heuristic composition search")
 	delta := fs.Duration("delta", 0, "fine-grained stop threshold (default 4h)")
 	token := fs.String("token", "", "require this bearer token on every API call")
-	statePath := fs.String("state", "", "snapshot file: loaded at startup if present, saved periodically")
+	statePath := fs.String("state", "", "snapshot file: loaded at startup if present, saved periodically and on shutdown")
+	rate := fs.Float64("rate", 0, "per-user rate limit in requests/second (0 = unlimited)")
+	burst := fs.Int("burst", 10, "per-user rate-limit burst")
+	queue := fs.Int("queue", 64, "upload queue depth (full queue answers 503)")
+	workers := fs.Int("workers", 0, "upload worker-pool size (0 = GOMAXPROCS)")
+	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request timeout (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,10 +82,23 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := service.New(pipelineProtector{pipeline})
+	srv, err := service.New(pipelineProtector{pipeline},
+		service.WithRateLimit(*rate, *burst),
+		service.WithQueueDepth(*queue),
+		service.WithWorkers(*workers),
+		service.WithRequestTimeout(*reqTimeout),
+		service.WithAuthToken(*token),
+	)
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	snapshotDone := make(chan struct{})
+	close(snapshotDone) // replaced below when a snapshot loop runs
 	if *statePath != "" {
 		if _, serr := os.Stat(*statePath); serr == nil {
 			if err := srv.LoadState(*statePath); err != nil {
@@ -72,27 +106,84 @@ func run(args []string) error {
 			}
 			log.Printf("moodserver: restored state from %s", *statePath)
 		}
+		snapshotDone = make(chan struct{})
 		go func() {
-			for range time.Tick(time.Minute) {
-				if err := srv.SaveState(*statePath); err != nil {
-					log.Printf("moodserver: snapshot failed: %v", err)
-				}
-			}
+			defer close(snapshotDone)
+			snapshotLoop(ctx, srv, *statePath)
 		}()
-	}
-	handler := srv.Handler()
-	if *token != "" {
-		handler = service.WithAuth(*token, handler)
 	}
 
 	log.Printf("moodserver: background %d users, attacks %v, listening on %s",
 		bg.NumUsers(), pipeline.Attacks(), *addr)
 	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slow or stalled clients must not pin connections: bound every
+		// phase of the exchange, not just the header read.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout(*reqTimeout),
+		IdleTimeout:       2 * time.Minute,
 	}
-	return httpServer.ListenAndServe()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("moodserver: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutdownErr := httpServer.Shutdown(shctx)
+	// Drain the upload queue before the final snapshot so every accepted
+	// upload is persisted, and join the periodic snapshot loop so a save
+	// that was already in flight cannot rename stale state over the
+	// final flush.
+	srv.Close()
+	<-snapshotDone
+	if *statePath != "" {
+		if err := srv.SaveState(*statePath); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		log.Printf("moodserver: final snapshot saved to %s", *statePath)
+	}
+	return shutdownErr
+}
+
+// writeTimeout leaves the handler-side timeout room to answer before
+// the connection is cut. A zero flag means the service's default
+// handler timeout is in effect, so the write timeout must bracket
+// that, not vanish; only a negative flag truly disables the handler
+// timeout.
+func writeTimeout(reqTimeout time.Duration) time.Duration {
+	if reqTimeout < 0 {
+		return 0 // handler timeout disabled; do not cut long protections short
+	}
+	if reqTimeout == 0 {
+		reqTimeout = service.DefaultRequestTimeout
+	}
+	return reqTimeout + 30*time.Second
+}
+
+// snapshotLoop saves the server state once a minute until the context
+// ends (the final flush on shutdown is handled by runCtx).
+func snapshotLoop(ctx context.Context, srv *service.Server, path string) {
+	ticker := time.NewTicker(time.Minute)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := srv.SaveState(path); err != nil {
+				log.Printf("moodserver: snapshot failed: %v", err)
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // pipelineProtector adapts the public Pipeline to the service interface.

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"mood/internal/service"
 	"mood/internal/synth"
 	"mood/internal/traceio"
 )
@@ -63,5 +67,76 @@ func TestServerServesAfterStartup(t *testing.T) {
 			}
 		}
 		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestGracefulShutdownFlushesState is the regression test for the
+// snapshot-loss bug: before graceful shutdown existed, any upload
+// accepted since the last minute-tick snapshot was lost on SIGTERM.
+// Now cancelling the server must flush a final snapshot to -state.
+func TestGracefulShutdownFlushesState(t *testing.T) {
+	cfg := synth.PrivamovLike(synth.ScaleTiny, 33)
+	cfg.NumUsers = 4
+	cfg.Days = 4
+	d := synth.MustGenerate(cfg)
+	bg := filepath.Join(t.TempDir(), "bg.csv")
+	if err := traceio.SaveCSVFile(bg, d); err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(t.TempDir(), "state.json")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runCtx(ctx, []string{"-background", bg, "-addr", addr, "-state", statePath})
+	}()
+
+	c := service.NewClient("http://" + addr)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.Stats(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// One upload, then immediate shutdown: well inside the one-minute
+	// periodic snapshot window, so only the final flush can save it.
+	if _, err := c.Upload(d.Traces[0].Chunks(24 * time.Hour)[0]); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	data, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatalf("no final snapshot written: %v", err)
+	}
+	var state struct {
+		Stats service.ServerStats `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Stats.Uploads < 1 {
+		t.Fatalf("snapshot lost the upload: %+v", state.Stats)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"time"
 
 	"mood"
 	"mood/internal/service"
@@ -36,11 +37,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Start the middleware (in production: cmd/moodserver).
-	srv, err := service.New(protector{pipeline})
+	// Start the middleware (in production: cmd/moodserver). The chain
+	// is the production one: panic recovery, request timeout, per-user
+	// rate limiting, request metrics — only auth is left off here.
+	srv, err := service.New(protector{pipeline},
+		service.WithRateLimit(50, 100), // generous: participants upload once a day
+		service.WithQueueDepth(32),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer srv.Close()
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	fmt.Printf("middleware listening at %s\n\n", hs.URL)
@@ -52,8 +59,17 @@ func main() {
 	client := service.NewClient(hs.URL)
 	provenance := map[string]string{} // pseudonym -> true participant
 	seen := map[string]bool{}
-	for _, participant := range campaign.Traces {
-		resps, err := client.UploadDaily(participant)
+	for i, participant := range campaign.Traces {
+		// Odd participants use the asynchronous path: their phone gets a
+		// 202 + job ID immediately and polls for the outcome, as a real
+		// battery-conscious client would.
+		var resps []service.UploadResponse
+		var err error
+		if i%2 == 1 {
+			resps, err = uploadDailyAsync(client, participant)
+		} else {
+			resps, err = client.UploadDaily(participant)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,6 +119,36 @@ func main() {
 	}
 	fmt.Printf("published: %d pseudonymous traces, correctly re-identified (leaks): %d\n",
 		published.NumUsers(), leaks)
+
+	// The operator's view: per-route request metrics from the chain.
+	snap, err := client.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	up := snap.Routes["POST /v1/upload"]
+	fmt.Printf("server: %d upload requests, avg %.1f ms, max %.1f ms\n",
+		up.Count, up.AvgMillis, up.MaxMillis)
+}
+
+// uploadDailyAsync mirrors Client.UploadDaily over the 202/poll path.
+func uploadDailyAsync(c *service.Client, participant mood.Trace) ([]service.UploadResponse, error) {
+	chunks := participant.Chunks(24 * time.Hour)
+	out := make([]service.UploadResponse, 0, len(chunks))
+	for _, chunk := range chunks {
+		j, err := c.UploadAsync(chunk)
+		if err != nil {
+			return out, err
+		}
+		done, err := c.WaitJob(j.ID, time.Minute)
+		if err != nil {
+			return out, err
+		}
+		if done.State != service.JobDone {
+			return out, fmt.Errorf("job %s failed: %s", done.ID, done.Error)
+		}
+		out = append(out, *done.Result)
+	}
+	return out, nil
 }
 
 // protector adapts the public pipeline to the middleware interface.

@@ -1,0 +1,3 @@
+module mood
+
+go 1.24

@@ -1,0 +1,287 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mood/internal/core"
+	"mood/internal/trace"
+)
+
+func TestAsyncUploadLifecycle(t *testing.T) {
+	srv, hs := newTestServer(t)
+	c := NewClient(hs.URL)
+
+	j, err := c.UploadAsync(trace.New("alice", sampleRecords(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID == "" || j.User != "alice" {
+		t.Fatalf("job = %+v", j)
+	}
+	done, err := c.WaitJob(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobDone || done.Result == nil {
+		t.Fatalf("job = %+v", done)
+	}
+	if done.Result.Accepted != 10 || done.Result.Pieces != 1 {
+		t.Fatalf("result = %+v", done.Result)
+	}
+	// The upload landed in the dataset and the accounting.
+	if st := srv.Stats(); st.Uploads != 1 || st.RecordsPublished != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAsyncUploadFailureIsReported(t *testing.T) {
+	_, hs := newTestServer(t)
+	c := NewClient(hs.URL)
+	j, err := c.UploadAsync(trace.New("boom-user", sampleRecords(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.WaitJob(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobFailed || !strings.Contains(done.Error, "engine exploded") {
+		t.Fatalf("job = %+v", done)
+	}
+}
+
+func TestUnknownJob404(t *testing.T) {
+	_, hs := newTestServer(t)
+	resp, err := http.Get(hs.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// gatedProtector blocks every Protect call until the gate opens,
+// letting tests hold the worker pool busy deterministically.
+type gatedProtector struct {
+	started chan string   // receives the user of each call that began
+	gate    chan struct{} // close to release all calls
+}
+
+func (g *gatedProtector) Protect(t trace.Trace) (core.Result, error) {
+	g.started <- t.User
+	<-g.gate
+	return core.Result{
+		User:         t.User,
+		TotalRecords: t.Len(),
+		Pieces: []core.Piece{{
+			Trace:         t.WithUser("anon-" + t.User),
+			Mechanism:     "gated",
+			SourceRecords: t.Len(),
+		}},
+	}, nil
+}
+
+func TestQueueFullBackpressure503(t *testing.T) {
+	gp := &gatedProtector{started: make(chan string, 8), gate: make(chan struct{})}
+	srv, err := New(gp, WithWorkers(1), WithQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL)
+
+	// First upload occupies the single worker...
+	firstErr := make(chan error, 1)
+	go func() {
+		_, err := c.Upload(trace.New("occupant", sampleRecords(3)))
+		firstErr <- err
+	}()
+	select {
+	case <-gp.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first upload never reached the protector")
+	}
+	// ...the second fills the queue (accepted async, still queued)...
+	queued, err := c.UploadAsync(trace.New("queued", sampleRecords(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and the third must be shed with 503 + Retry-After, sync or async.
+	resp, err := http.DefaultClient.Do(mustUploadRequest(t, hs.URL, "shed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 must carry Retry-After")
+	}
+	if _, err := c.UploadAsync(trace.New("shed-async", sampleRecords(3))); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Fatalf("async shed err = %v, want 503", err)
+	}
+
+	// Releasing the gate completes both accepted uploads.
+	close(gp.gate)
+	if err := <-firstErr; err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.WaitJob(queued.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobDone {
+		t.Fatalf("queued job = %+v", done)
+	}
+	if st := srv.Stats(); st.Uploads != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// panicProtector exercises the worker-side panic containment.
+type panicProtector struct{}
+
+func (panicProtector) Protect(trace.Trace) (core.Result, error) { panic("engine bug") }
+
+func TestProtectorPanicBecomes500NotCrash(t *testing.T) {
+	srv, err := New(panicProtector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL)
+
+	if _, err := c.Upload(trace.New("alice", sampleRecords(3))); err == nil ||
+		!strings.Contains(err.Error(), "500") {
+		t.Fatalf("err = %v, want 500", err)
+	}
+	// Async jobs record the panic as a failure.
+	j, err := c.UploadAsync(trace.New("bob", sampleRecords(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.WaitJob(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobFailed || !strings.Contains(done.Error, "panicked") {
+		t.Fatalf("job = %+v", done)
+	}
+}
+
+// TestParallelUploadsShardedState hammers the sharded state from many
+// users at once; run under -race this is the regression test for the
+// per-shard locking.
+func TestParallelUploadsShardedState(t *testing.T) {
+	srv, err := New(&fakeProtector{}, WithQueueDepth(256), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	const users, uploadsPerUser = 32, 4
+	var wg sync.WaitGroup
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(hs.URL)
+			u := fmt.Sprintf("user-%03d", i)
+			for k := 0; k < uploadsPerUser; k++ {
+				if k%2 == 0 {
+					if _, err := c.Upload(trace.New(u, sampleRecords(5))); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				j, err := c.UploadAsync(trace.New(u, sampleRecords(5)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.WaitJob(j.ID, 10*time.Second); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.Users != users || st.Uploads != users*uploadsPerUser {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.RecordsIn != users*uploadsPerUser*5 || st.RecordsPublished != st.RecordsIn {
+		t.Fatalf("record accounting = %+v", st)
+	}
+	if got := len(srv.Users()); got != users {
+		t.Fatalf("users = %d", got)
+	}
+	if got := len(srv.publishedSnapshot()); got != st.PublishedTraces {
+		t.Fatalf("published snapshot %d != stats %d", got, st.PublishedTraces)
+	}
+}
+
+func TestServerCloseDrainsQueuedJobs(t *testing.T) {
+	gp := &gatedProtector{started: make(chan string, 8), gate: make(chan struct{})}
+	srv, err := New(gp, WithWorkers(1), WithQueueDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL)
+
+	// Occupy the worker, then queue two async jobs behind it.
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Upload(trace.New("occupant", sampleRecords(3)))
+		first <- err
+	}()
+	<-gp.started
+	var ids []string
+	for i := 0; i < 2; i++ {
+		j, err := c.UploadAsync(trace.New(fmt.Sprintf("queued-%d", i), sampleRecords(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	close(gp.gate)
+	if err := srv.Close(); err != nil { // blocks until the queue is drained
+		t.Fatal(err)
+	}
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		j, ok := srv.jobs.get(id)
+		if !ok || j.State != JobDone {
+			t.Fatalf("job %s = %+v after Close", id, j)
+		}
+	}
+	// Uploads after Close are shed, not silently dropped.
+	if _, err := c.Upload(trace.New("late", sampleRecords(3))); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Fatalf("post-close upload err = %v, want 503", err)
+	}
+}

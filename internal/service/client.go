@@ -40,12 +40,21 @@ func (c *Client) httpClient() *http.Client {
 
 // do issues a request with the configured auth header.
 func (c *Client) do(method, url string, body io.Reader) (*http.Response, error) {
+	return c.doAs(method, url, "", body)
+}
+
+// doAs additionally tags the request with the participant ID so the
+// server's per-user rate limiter can key on it before parsing the body.
+func (c *Client) doAs(method, url, user string, body io.Reader) (*http.Response, error) {
 	req, err := http.NewRequest(method, url, body)
 	if err != nil {
 		return nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if user != "" {
+		req.Header.Set(UserHeader, user)
 	}
 	if c.authToken != "" {
 		req.Header.Set("Authorization", "Bearer "+c.authToken)
@@ -59,7 +68,7 @@ func (c *Client) Upload(t trace.Trace) (UploadResponse, error) {
 	if err != nil {
 		return UploadResponse{}, fmt.Errorf("service: encoding upload: %w", err)
 	}
-	resp, err := c.do(http.MethodPost, c.BaseURL+"/v1/upload", bytes.NewReader(body))
+	resp, err := c.doAs(http.MethodPost, c.BaseURL+"/v1/upload", t.User, bytes.NewReader(body))
 	if err != nil {
 		return UploadResponse{}, fmt.Errorf("service: upload: %w", err)
 	}
@@ -70,6 +79,83 @@ func (c *Client) Upload(t trace.Trace) (UploadResponse, error) {
 	var out UploadResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return UploadResponse{}, fmt.Errorf("service: decoding upload response: %w", err)
+	}
+	return out, nil
+}
+
+// UploadAsync enqueues one trace on the server's worker pool and
+// returns the job handle immediately (HTTP 202). Poll Job, or use
+// WaitJob, to collect the outcome.
+func (c *Client) UploadAsync(t trace.Trace) (JobStatus, error) {
+	body, err := json.Marshal(UploadRequest{User: t.User, Records: t.Records})
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: encoding upload: %w", err)
+	}
+	resp, err := c.doAs(http.MethodPost, c.BaseURL+"/v1/upload?async=1", t.User, bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: async upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return JobStatus{}, decodeError(resp)
+	}
+	var out JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return JobStatus{}, fmt.Errorf("service: decoding job status: %w", err)
+	}
+	return out, nil
+}
+
+// Job fetches the status of an asynchronous upload.
+func (c *Client) Job(id string) (JobStatus, error) {
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: job status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, decodeError(resp)
+	}
+	var out JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return JobStatus{}, fmt.Errorf("service: decoding job status: %w", err)
+	}
+	return out, nil
+}
+
+// WaitJob polls an asynchronous upload until it finishes or the timeout
+// expires. A failed job is returned with a nil error: the failure is in
+// JobStatus.Error.
+func (c *Client) WaitJob(id string, timeout time.Duration) (JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		j, err := c.Job(id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if j.State == JobDone || j.State == JobFailed {
+			return j, nil
+		}
+		if time.Now().After(deadline) {
+			return j, fmt.Errorf("service: job %s still %s after %v", id, j.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Metrics fetches the server's request metrics.
+func (c *Client) Metrics() (MetricsSnapshot, error) {
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/metrics", nil)
+	if err != nil {
+		return MetricsSnapshot{}, fmt.Errorf("service: metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return MetricsSnapshot{}, decodeError(resp)
+	}
+	var out MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return MetricsSnapshot{}, fmt.Errorf("service: decoding metrics: %w", err)
 	}
 	return out, nil
 }

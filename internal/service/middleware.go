@@ -1,0 +1,363 @@
+package service
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Middleware is one layer of the server's HTTP processing chain: it
+// wraps a handler and returns the wrapped handler. Layers compose with
+// Chain in a fixed, documented order (outermost first):
+//
+//	Metrics -> Recover -> Timeout -> Auth -> RateLimit -> mux
+//
+// Metrics sit outermost so every response is recorded with the status
+// the client actually received — 500s from recovered panics, 503s from
+// the timeout layer, 401s from auth, 429s from the limiter. Recovery
+// wraps everything below it so a panic anywhere still yields a 500;
+// the timeout bounds everything that can block; auth runs before the
+// rate limiter so unauthenticated junk is turned away with 401 without
+// ever touching limiter state — otherwise a tokenless attacker could
+// drain a victim's bucket just by naming them in X-Mood-User.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies the middlewares to h in the given order: the first
+// middleware becomes the outermost layer.
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// UserHeader carries the participant ID on API requests so admission
+// control (per-user rate limiting) can run before the JSON body is
+// parsed. The Client sets it automatically. The header is self-declared
+// identity, like the upload body's "user" field — the upload handler
+// rejects requests where the two disagree, so a client cannot spend one
+// user's rate budget while uploading as another.
+const UserHeader = "X-Mood-User"
+
+// ---------------------------------------------------------------------------
+// Panic recovery.
+
+// Recover converts a handler panic into a 500 JSON error instead of
+// killing the connection (and, under some servers, the process).
+// http.ErrAbortHandler is re-panicked as the contract requires.
+func Recover() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if p := recover(); p != nil {
+					if p == http.ErrAbortHandler {
+						panic(p)
+					}
+					httpError(w, http.StatusInternalServerError, "internal error")
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Request timeout.
+
+// Timeout bounds the request with http.TimeoutHandler: the client gets
+// a 503 JSON error after d even if the protection engine is still
+// grinding, and the request context below is cancelled. The dataset
+// download routes are exempt: TimeoutHandler buffers the entire
+// response in memory, which for a large published dataset would trade
+// streaming for a per-request copy of the whole payload.
+func Timeout(d time.Duration) Middleware {
+	const msg = `{"error":"request timed out"}`
+	return func(next http.Handler) http.Handler {
+		th := http.TimeoutHandler(next, d, msg)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/dataset" || r.URL.Path == "/v1/dataset.csv" {
+				next.ServeHTTP(w, r)
+				return
+			}
+			if strings.HasPrefix(r.URL.Path, "/v1/") {
+				// Pre-set the type on the outer writer so the timeout
+				// 503 body is served as JSON like every other API
+				// error; successful inner responses overwrite it.
+				w.Header().Set("Content-Type", "application/json")
+			}
+			th.ServeHTTP(w, r)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-user token-bucket rate limiting.
+
+// RateLimit admits at most rps requests per second per user with the
+// given burst, answering 429 with a Retry-After hint otherwise.
+// Uploads are keyed by the X-Mood-User header (which the upload
+// handler verifies against the body, so it cannot be rotated to mint
+// fresh buckets); every other request is keyed by client IP so
+// scrapes cannot dodge the limiter with self-declared identities.
+// Probe and poll endpoints (/healthz, /v1/metrics, /v1/jobs/) stay
+// exempt: they are O(1) in-memory reads, and throttling the async
+// poll loop would turn accepted uploads into client-side failures.
+func RateLimit(rps float64, burst int) Middleware {
+	rl := newRateLimiter(rps, burst)
+	return rl.middleware
+}
+
+type rateLimiter struct {
+	rps   float64
+	burst float64
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
+	now       func() time.Time // test hook
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiterSweepSize is the bucket count above which idle entries are
+// swept, so one bucket per ever-seen key cannot grow without bound.
+const limiterSweepSize = 10000
+
+func newRateLimiter(rps float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rps:     rps,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow reports whether key may proceed, and if not, how long until the
+// next token.
+func (rl *rateLimiter) allow(key string) (bool, time.Duration) {
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if len(rl.buckets) > limiterSweepSize && now.Sub(rl.lastSweep) > 10*time.Second {
+		rl.sweepLocked(now)
+	}
+	b, ok := rl.buckets[key]
+	if !ok {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rps
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rps * float64(time.Second))
+	return false, wait
+}
+
+// sweepLocked drops buckets idle long enough to have refilled: they are
+// indistinguishable from fresh ones, so forgetting them changes nothing
+// for the key's next request.
+func (rl *rateLimiter) sweepLocked(now time.Time) {
+	rl.lastSweep = now
+	for k, b := range rl.buckets {
+		if now.Sub(b.last).Seconds()*rl.rps >= rl.burst {
+			delete(rl.buckets, k)
+		}
+	}
+}
+
+func (rl *rateLimiter) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/v1/metrics" ||
+			strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ok, wait := rl.allow(rateKey(r))
+		if !ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func rateKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	// Only uploads key on self-declared identity, and always combined
+	// with the source IP: the handler rejects a header/body mismatch,
+	// so the header cannot be rotated to mint fresh buckets for real
+	// uploads, and the IP component stops a client from burning a
+	// victim's budget by naming them from elsewhere. Residual risk: a
+	// client sharing the victim's IP (NAT) can still burn the shared
+	// bucket with mismatched requests, since the 400 happens after the
+	// debit; exact accounting there needs authenticated identity.
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/upload" {
+		if u := r.Header.Get(UserHeader); u != "" {
+			return "user:" + u + "|ip:" + host
+		}
+	}
+	return "ip:" + host
+}
+
+// retryAfterSeconds renders a wait as whole seconds, at least 1, as the
+// Retry-After header requires.
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int(wait/time.Second) + 1
+	return strconv.Itoa(secs)
+}
+
+// ---------------------------------------------------------------------------
+// Request metrics.
+
+// RouteMetrics aggregates one route's traffic.
+type RouteMetrics struct {
+	// Count is the number of requests observed.
+	Count int64 `json:"count"`
+	// Status counts responses by status code.
+	Status map[string]int64 `json:"status"`
+	// TotalMillis and MaxMillis aggregate handler latency.
+	TotalMillis float64 `json:"total_ms"`
+	MaxMillis   float64 `json:"max_ms"`
+	// AvgMillis = TotalMillis / Count, precomputed for scrapers.
+	AvgMillis float64 `json:"avg_ms"`
+}
+
+// MetricsSnapshot is the GET /v1/metrics payload.
+type MetricsSnapshot struct {
+	// Routes maps "METHOD /path" (IDs collapsed to {id}) to counters.
+	Routes map[string]RouteMetrics `json:"routes"`
+}
+
+// requestMetrics is the live store behind MetricsSnapshot.
+type requestMetrics struct {
+	mu     sync.Mutex
+	routes map[string]*RouteMetrics
+}
+
+func newRequestMetrics() *requestMetrics {
+	return &requestMetrics{routes: make(map[string]*RouteMetrics)}
+}
+
+func (m *requestMetrics) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		// Observe in a defer so even a panic unwinding through this
+		// layer leaves the request counted.
+		defer func() {
+			m.observe(metricRoute(r), sw.code, time.Since(start))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+func (m *requestMetrics) observe(route string, code int, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm, ok := m.routes[route]
+	if !ok {
+		rm = &RouteMetrics{Status: make(map[string]int64)}
+		m.routes[route] = rm
+	}
+	rm.Count++
+	rm.Status[strconv.Itoa(code)]++
+	rm.TotalMillis += ms
+	if ms > rm.MaxMillis {
+		rm.MaxMillis = ms
+	}
+}
+
+// Snapshot returns a deep copy of the counters.
+func (m *requestMetrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{Routes: make(map[string]RouteMetrics, len(m.routes))}
+	for route, rm := range m.routes {
+		cp := *rm
+		cp.Status = make(map[string]int64, len(rm.Status))
+		for k, v := range rm.Status {
+			cp.Status[k] = v
+		}
+		if cp.Count > 0 {
+			cp.AvgMillis = cp.TotalMillis / float64(cp.Count)
+		}
+		out.Routes[route] = cp
+	}
+	return out
+}
+
+// metricRoute collapses per-entity path segments and buckets anything
+// off the known route map as "other", so the route space stays bounded
+// no matter what paths or methods clients invent.
+func metricRoute(r *http.Request) string {
+	path := r.URL.Path
+	switch {
+	case strings.HasPrefix(path, "/v1/users/"):
+		path = "/v1/users/{id}"
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		path = "/v1/jobs/{id}"
+	case path == "/v1/upload", path == "/v1/dataset", path == "/v1/dataset.csv",
+		path == "/v1/stats", path == "/v1/metrics", path == "/healthz":
+	default:
+		path = "other"
+	}
+	method := r.Method
+	switch method {
+	case http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete,
+		http.MethodHead, http.MethodOptions, http.MethodPatch:
+	default:
+		method = "OTHER"
+	}
+	return method + " " + path
+}
+
+// statusWriter records the status code written downstream.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// ---------------------------------------------------------------------------
+// Bearer-token auth (chain form of the historical WithAuth wrapper).
+
+// Auth requires "Authorization: Bearer <token>" on every request except
+// the liveness probe. Comparison is constant-time (see auth.go).
+func Auth(token string) Middleware {
+	return func(next http.Handler) http.Handler {
+		return WithAuth(token, next)
+	}
+}

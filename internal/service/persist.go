@@ -9,7 +9,9 @@ import (
 	"mood/internal/trace"
 )
 
-// persistedState is the on-disk snapshot of a Server.
+// persistedState is the on-disk snapshot of a Server. The format
+// predates the sharded state and is kept stable: shards are merged on
+// save and redistributed on load.
 type persistedState struct {
 	Published []trace.Trace         `json:"published"`
 	Users     map[string]*UserStats `json:"users"`
@@ -19,21 +21,19 @@ type persistedState struct {
 
 // SaveState writes the server's published dataset and accounting to
 // path atomically (write to a temp file, then rename). Operators call
-// it on shutdown or from a periodic snapshot loop.
+// it on shutdown or from a periodic snapshot loop. Concurrent calls
+// are serialised so a slow earlier save cannot rename an older
+// snapshot over a newer one.
 func (s *Server) SaveState(path string) error {
-	s.mu.Lock()
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	published, users, stats := s.fullSnapshot()
 	state := persistedState{
-		Published: make([]trace.Trace, len(s.published)),
-		Users:     make(map[string]*UserStats, len(s.users)),
-		Stats:     s.stats,
-		Pseudo:    s.pseudo,
+		Published: published,
+		Users:     users,
+		Stats:     stats,
+		Pseudo:    int(s.pseudo.Load()),
 	}
-	copy(state.Published, s.published)
-	for u, us := range s.users {
-		copied := *us
-		state.Users[u] = &copied
-	}
-	s.mu.Unlock()
 
 	data, err := json.Marshal(state)
 	if err != nil {
@@ -75,11 +75,7 @@ func (s *Server) LoadState(path string) error {
 		state.Users = map[string]*UserStats{}
 	}
 
-	s.mu.Lock()
-	s.published = state.Published
-	s.users = state.Users
-	s.stats = state.Stats
-	s.pseudo = state.Pseudo
-	s.mu.Unlock()
+	s.resetShards(state.Published, state.Users)
+	s.pseudo.Store(int64(state.Pseudo))
 	return nil
 }

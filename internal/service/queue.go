@@ -1,0 +1,359 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"mood/internal/core"
+	"mood/internal/trace"
+)
+
+// The upload pipeline: every upload — synchronous or asynchronous — is
+// an uploadJob dispatched to a bounded worker pool. The queue provides
+// backpressure (503 + Retry-After when full) instead of letting a
+// traffic spike pile unbounded goroutines onto the CPU-heavy protection
+// engine. Synchronous callers block on the job's done channel so the
+// wire semantics are unchanged; async callers get a job ID and poll
+// GET /v1/jobs/{id}.
+
+// Job states reported by GET /v1/jobs/{id}.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is the wire form of an asynchronous upload's progress.
+type JobStatus struct {
+	ID    string `json:"id"`
+	User  string `json:"user"`
+	State string `json:"state"`
+	// Error is set when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Result is set when State is "done".
+	Result *UploadResponse `json:"result,omitempty"`
+}
+
+// uploadOutcome is what a worker hands back to a synchronous caller.
+type uploadOutcome struct {
+	resp UploadResponse
+	err  error
+}
+
+// uploadJob is one unit of protection work.
+type uploadJob struct {
+	trace trace.Trace
+	// done receives the outcome for synchronous uploads (buffered, so
+	// workers never block on an abandoned caller). nil for async jobs.
+	done chan uploadOutcome
+	// id is the job-store key for asynchronous uploads. "" for sync.
+	id string
+}
+
+// workerPool runs uploads on a fixed set of goroutines fed by a bounded
+// queue.
+type workerPool struct {
+	queue   chan *uploadJob
+	stop    chan struct{} // closed by Close: stop pulling new work
+	drained chan struct{} // closed when every worker has exited
+	wg      sync.WaitGroup
+
+	// stopMu fences intake against shutdown: enqueuers hold the read
+	// lock across their send, close() sets stopped under the write
+	// lock. Once close() holds the lock, no send is in flight, so the
+	// workers' final drain pass cannot strand an accepted job.
+	stopMu  sync.RWMutex
+	stopped bool
+}
+
+func newWorkerPool(workers, depth int, run func(*uploadJob)) *workerPool {
+	p := &workerPool{
+		queue:   make(chan *uploadJob, depth),
+		stop:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case j := <-p.queue:
+					run(j)
+				case <-p.stop:
+					// Drain whatever made it into the queue before the
+					// stop so accepted async jobs are not lost.
+					for {
+						select {
+						case j := <-p.queue:
+							run(j)
+						default:
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.drained)
+	}()
+	return p
+}
+
+// tryEnqueue offers the job to the queue without blocking; false means
+// the pool is stopped or the queue is full and the caller should shed
+// load.
+func (p *workerPool) tryEnqueue(j *uploadJob) bool {
+	p.stopMu.RLock()
+	defer p.stopMu.RUnlock()
+	if p.stopped {
+		return false
+	}
+	select {
+	case p.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops intake, drains the queue and waits for the workers.
+func (p *workerPool) close() {
+	p.stopMu.Lock()
+	p.stopped = true
+	p.stopMu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Job store.
+
+// maxRetainedJobs bounds the job store; the oldest finished jobs are
+// evicted first so a long-lived server cannot leak memory one 202 at a
+// time.
+const maxRetainedJobs = 10000
+
+type jobStore struct {
+	mu    sync.Mutex
+	next  int
+	jobs  map[string]*JobStatus
+	order []string // insertion order, for eviction
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*JobStatus)}
+}
+
+// create registers a new queued job and returns its public status.
+func (js *jobStore) create(user string) JobStatus {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.next++
+	j := &JobStatus{
+		ID:    newJobID(js.next),
+		User:  user,
+		State: JobQueued,
+	}
+	js.jobs[j.ID] = j
+	js.order = append(js.order, j.ID)
+	js.evictLocked()
+	return *j
+}
+
+// newJobID returns an unguessable job ID. A job handle is the only
+// credential for reading another participant's upload outcome (the
+// jobs endpoint is exempt from rate limiting), so sequential IDs would
+// let any client enumerate every uploader's identity and results. The
+// counter is a fallback for the never-in-practice case of the system
+// randomness source failing.
+func newJobID(seq int) string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("job-%06d", seq)
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// evictLocked drops the oldest finished jobs above the retention cap.
+func (js *jobStore) evictLocked() {
+	if len(js.jobs) <= maxRetainedJobs {
+		return
+	}
+	kept := js.order[:0]
+	for _, id := range js.order {
+		j := js.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(js.jobs) > maxRetainedJobs && (j.State == JobDone || j.State == JobFailed) {
+			delete(js.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	js.order = kept
+}
+
+// get returns a copy of the job's status.
+func (js *jobStore) get(id string) (JobStatus, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return *j, true
+}
+
+func (js *jobStore) setRunning(id string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if j, ok := js.jobs[id]; ok {
+		j.State = JobRunning
+	}
+}
+
+func (js *jobStore) setDone(id string, resp UploadResponse) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if j, ok := js.jobs[id]; ok {
+		j.State = JobDone
+		j.Result = &resp
+	}
+}
+
+func (js *jobStore) setFailed(id string, err error) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if j, ok := js.jobs[id]; ok {
+		j.State = JobFailed
+		j.Error = err.Error()
+	}
+}
+
+// remove forgets a job (used when enqueueing it failed after creation).
+func (js *jobStore) remove(id string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	delete(js.jobs, id)
+	// order keeps the dead ID until it drifts far from the map size;
+	// compacting lazily keeps remove O(1) amortised even when every
+	// async upload is being shed against a full queue.
+	if len(js.order) > 2*len(js.jobs)+16 {
+		kept := js.order[:0]
+		for _, oid := range js.order {
+			if _, ok := js.jobs[oid]; ok {
+				kept = append(kept, oid)
+			}
+		}
+		js.order = kept
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Worker body and job endpoint.
+
+// runJob executes one upload end to end: protect, then commit to the
+// sharded state. A panicking protector fails the one job, not the
+// process.
+func (s *Server) runJob(j *uploadJob) {
+	if j.id != "" {
+		s.jobs.setRunning(j.id)
+	}
+	resp, err := s.protectAndCommit(j.trace)
+	switch {
+	case j.done != nil:
+		j.done <- uploadOutcome{resp: resp, err: err}
+	case err != nil:
+		s.jobs.setFailed(j.id, err)
+	default:
+		s.jobs.setDone(j.id, resp)
+	}
+}
+
+// protectAndCommit runs the engine and, on success, folds the result
+// into the uploader's shard.
+func (s *Server) protectAndCommit(t trace.Trace) (UploadResponse, error) {
+	res, err := s.protect(t)
+	if err != nil {
+		return UploadResponse{}, err
+	}
+
+	resp := UploadResponse{
+		Accepted: res.ProtectedRecords(),
+		Rejected: res.LostRecords,
+	}
+	sh := s.shard(t.User)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	us, ok := sh.users[t.User]
+	if !ok {
+		us = &UserStats{}
+		sh.users[t.User] = us
+		sh.stats.Users++
+	}
+	us.Uploads++
+	us.RecordsIn += t.Len()
+	us.RecordsPublished += res.ProtectedRecords()
+	us.RecordsRejected += res.LostRecords
+	us.Pieces += len(res.Pieces)
+	sh.stats.Uploads++
+	sh.stats.RecordsIn += t.Len()
+	sh.stats.RecordsPublished += res.ProtectedRecords()
+	sh.stats.RecordsRejected += res.LostRecords
+	for _, p := range res.Pieces {
+		pub := p.Trace
+		if pub.User == t.User {
+			// Whole-trace pieces keep the engine-side identity; the
+			// middleware never publishes a raw uploader ID, so relabel
+			// with a server-scoped pseudonym.
+			pub = pub.WithUser(fmt.Sprintf("pub-%06d", s.pseudo.Add(1)))
+		}
+		sh.published = append(sh.published, pub)
+		resp.Pieces++
+		resp.Mechanisms = append(resp.Mechanisms, p.Mechanism)
+	}
+	return resp, nil
+}
+
+// protect calls the engine with the recover scoped to just that call:
+// a panic must fail the one job, and must never unwind through the
+// commit section where it would leak a shard lock.
+func (s *Server) protect(t trace.Trace) (res core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("protection panicked: %v", p)
+		}
+	}()
+	res, err = s.protector.Protect(t)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("protection failed: %w", err)
+	}
+	return res, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing job id")
+		return
+	}
+	j, ok := s.jobs.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}

@@ -8,11 +8,21 @@
 //
 //	POST /v1/upload            {"user": ..., "records": [...]}
 //	                           -> UploadResponse
+//	POST /v1/upload?async=1    -> 202 + JobStatus (poll /v1/jobs/{id})
+//	GET  /v1/jobs/{id}         asynchronous upload status
 //	GET  /v1/dataset           protected dataset (JSON)
 //	GET  /v1/dataset.csv       protected dataset (CSV)
 //	GET  /v1/stats             ServerStats
 //	GET  /v1/users/{id}        per-user upload accounting
+//	GET  /v1/metrics           request metrics (MetricsSnapshot)
 //	GET  /healthz              liveness probe
+//
+// Requests flow through a fixed middleware chain (see Middleware):
+// request metrics, panic recovery, request timeout, bearer-token auth,
+// per-user rate limiting, then the mux. Uploads — sync and async —
+// are executed by a bounded worker pool over state sharded per user, so
+// concurrent participants never contend on one lock and a traffic spike
+// degrades into 503 + Retry-After instead of collapse.
 package service
 
 import (
@@ -20,9 +30,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mood/internal/core"
 	"mood/internal/trace"
@@ -35,16 +47,85 @@ type Protector interface {
 	Protect(t trace.Trace) (core.Result, error)
 }
 
+// Options tunes the server's admission control and upload pipeline.
+// The zero value selects production defaults; use the With* functional
+// options to override.
+type Options struct {
+	// Workers is the upload worker-pool size. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the upload queue; a full queue sheds load with
+	// 503 + Retry-After. Default 64.
+	QueueDepth int
+	// RateLimit is the per-user request budget in requests/second;
+	// 0 disables rate limiting. RateBurst defaults to 10.
+	RateLimit float64
+	RateBurst int
+	// RequestTimeout bounds every request; 0 means the 2 m default,
+	// negative disables the timeout layer.
+	RequestTimeout time.Duration
+	// AuthToken, when non-empty, requires bearer-token auth in the
+	// chain (the historical WithAuth wrapper remains available).
+	AuthToken string
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithWorkers sets the upload worker-pool size.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithQueueDepth bounds the upload queue.
+func WithQueueDepth(n int) Option { return func(o *Options) { o.QueueDepth = n } }
+
+// WithRateLimit enables per-user token-bucket rate limiting.
+func WithRateLimit(rps float64, burst int) Option {
+	return func(o *Options) { o.RateLimit = rps; o.RateBurst = burst }
+}
+
+// WithRequestTimeout bounds every request; d < 0 disables the layer.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(o *Options) { o.RequestTimeout = d }
+}
+
+// WithAuthToken requires the bearer token on every API call.
+func WithAuthToken(token string) Option { return func(o *Options) { o.AuthToken = token } }
+
+// DefaultRequestTimeout is what a zero Options.RequestTimeout means;
+// exported so operators sizing http.Server write timeouts around the
+// handler timeout can mirror the resolution.
+const DefaultRequestTimeout = 2 * time.Minute
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.RateBurst <= 0 {
+		o.RateBurst = 10
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+}
+
 // Server implements the crowd-sensing middleware. Create with New and
-// mount via Handler. Safe for concurrent use.
+// mount via Handler. Safe for concurrent use; Close releases the worker
+// pool.
 type Server struct {
 	protector Protector
+	opts      Options
 
-	mu        sync.Mutex
-	published []trace.Trace
-	users     map[string]*UserStats
-	stats     ServerStats
-	pseudo    int
+	shards [numShards]stateShard
+	pseudo atomic.Int64
+
+	pool    *workerPool
+	jobs    *jobStore
+	metrics *requestMetrics
+
+	saveMu sync.Mutex // serialises SaveState snapshots
+	closed atomic.Bool
 }
 
 // UserStats is the per-participant accounting.
@@ -94,30 +175,68 @@ type UploadResponse struct {
 	Mechanisms []string `json:"mechanisms"`
 }
 
-// New returns a Server protecting uploads with p.
-func New(p Protector) (*Server, error) {
+// New returns a Server protecting uploads with p. Call Close when done
+// to release the worker pool.
+func New(p Protector, opts ...Option) (*Server, error) {
 	if p == nil {
 		return nil, errors.New("service: nil protector")
 	}
-	return &Server{
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.fill()
+	s := &Server{
 		protector: p,
-		users:     make(map[string]*UserStats),
-	}, nil
+		opts:      o,
+		jobs:      newJobStore(),
+		metrics:   newRequestMetrics(),
+	}
+	for i := range s.shards {
+		s.shards[i].users = make(map[string]*UserStats)
+	}
+	s.pool = newWorkerPool(o.Workers, o.QueueDepth, s.runJob)
+	return s, nil
 }
 
-// Handler returns the HTTP handler tree.
+// Close stops the upload pipeline: intake ends, queued jobs are drained
+// and the workers exit. Safe to call more than once.
+func (s *Server) Close() error {
+	if s.closed.CompareAndSwap(false, true) {
+		s.pool.close()
+	}
+	return nil
+}
+
+// Handler returns the HTTP handler tree wrapped in the middleware
+// chain. The chain order is fixed: Metrics, Recover, Timeout, Auth,
+// RateLimit (the latter three only when configured); see Middleware
+// for the rationale.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/upload", s.handleUpload)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/dataset", s.handleDataset)
 	mux.HandleFunc("/v1/dataset.csv", s.handleDatasetCSV)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/users/", s.handleUser)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+
+	mws := []Middleware{s.metrics.middleware, Recover()}
+	if s.opts.RequestTimeout > 0 {
+		mws = append(mws, Timeout(s.opts.RequestTimeout))
+	}
+	if s.opts.AuthToken != "" {
+		mws = append(mws, Auth(s.opts.AuthToken))
+	}
+	if s.opts.RateLimit > 0 {
+		mws = append(mws, RateLimit(s.opts.RateLimit, s.opts.RateBurst))
+	}
+	return Chain(mux, mws...)
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -139,57 +258,84 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no records")
 		return
 	}
+	if h := r.Header.Get(UserHeader); h != "" && h != req.User {
+		// The header keys the rate limiter before the body is parsed; a
+		// mismatch would let a client spend one user's budget while
+		// uploading as another.
+		httpError(w, http.StatusBadRequest, UserHeader+" header does not match upload user")
+		return
+	}
 	t := trace.New(req.User, req.Records)
 	if err := t.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid trace: "+err.Error())
 		return
 	}
 
-	// Protection runs outside the lock: it is the expensive part and
-	// must not serialise uploads from different users.
-	res, err := s.protector.Protect(t)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "protection failed: "+err.Error())
+	if isAsync(r) {
+		s.dispatchAsync(w, t)
 		return
 	}
+	s.dispatchSync(w, r, t)
+}
 
-	resp := UploadResponse{
-		Accepted: res.ProtectedRecords(),
-		Rejected: res.LostRecords,
+func isAsync(r *http.Request) bool {
+	switch r.URL.Query().Get("async") {
+	case "", "0", "false":
+		return false
 	}
-	s.mu.Lock()
-	us, ok := s.users[req.User]
-	if !ok {
-		us = &UserStats{}
-		s.users[req.User] = us
-		s.stats.Users++
+	return true
+}
+
+// dispatchSync runs the upload through the worker pool and waits for
+// the outcome, preserving the historical synchronous semantics.
+func (s *Server) dispatchSync(w http.ResponseWriter, r *http.Request, t trace.Trace) {
+	j := &uploadJob{trace: t, done: make(chan uploadOutcome, 1)}
+	if !s.pool.tryEnqueue(j) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "upload queue full")
+		return
 	}
-	us.Uploads++
-	us.RecordsIn += t.Len()
-	us.RecordsPublished += res.ProtectedRecords()
-	us.RecordsRejected += res.LostRecords
-	us.Pieces += len(res.Pieces)
-	s.stats.Uploads++
-	s.stats.RecordsIn += t.Len()
-	s.stats.RecordsPublished += res.ProtectedRecords()
-	s.stats.RecordsRejected += res.LostRecords
-	for _, p := range res.Pieces {
-		pub := p.Trace
-		if pub.User == req.User {
-			// Whole-trace pieces keep the engine-side identity; the
-			// middleware never publishes a raw uploader ID, so relabel
-			// with a server-scoped pseudonym.
-			s.pseudo++
-			pub = pub.WithUser(fmt.Sprintf("pub-%06d", s.pseudo))
+	select {
+	case out := <-j.done:
+		if out.err != nil {
+			httpError(w, http.StatusInternalServerError, out.err.Error())
+			return
 		}
-		s.published = append(s.published, pub)
-		resp.Pieces++
-		resp.Mechanisms = append(resp.Mechanisms, p.Mechanism)
+		writeJSON(w, http.StatusOK, out.resp)
+	case <-r.Context().Done():
+		// The client gave up (or the timeout layer fired); the job still
+		// runs to completion in the pool and its records are kept. This
+		// keeps the seed handler's at-least-once semantics (it, too,
+		// committed after a client disconnect): a client that retries
+		// after this 503 may publish the same chunk twice. True
+		// exactly-once needs idempotency keys — see ROADMAP.
+		httpError(w, http.StatusServiceUnavailable, "request cancelled before protection finished")
+	case <-s.pool.drained:
+		// Server shut down mid-wait; the drain pass may have completed
+		// the job after all.
+		select {
+		case out := <-j.done:
+			if out.err != nil {
+				httpError(w, http.StatusInternalServerError, out.err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, out.resp)
+		default:
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		}
 	}
-	s.stats.PublishedTraces = len(s.published)
-	s.mu.Unlock()
+}
 
-	writeJSON(w, http.StatusOK, resp)
+// dispatchAsync queues the upload and answers 202 with the job handle.
+func (s *Server) dispatchAsync(w http.ResponseWriter, t trace.Trace) {
+	j := s.jobs.create(t.User)
+	if !s.pool.tryEnqueue(&uploadJob{trace: t, id: j.ID}) {
+		s.jobs.remove(j.ID)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "upload queue full")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
 }
 
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
@@ -197,13 +343,9 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	traces := make([]trace.Trace, len(s.published))
-	copy(traces, s.published)
-	s.mu.Unlock()
 	// The published dataset is assembled fresh so fragment order never
 	// leaks upload order per user.
-	d := trace.NewDataset("published", traces)
+	d := trace.NewDataset("published", s.publishedSnapshot())
 	writeJSON(w, http.StatusOK, d)
 }
 
@@ -212,11 +354,7 @@ func (s *Server) handleDatasetCSV(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	traces := make([]trace.Trace, len(s.published))
-	copy(traces, s.published)
-	s.mu.Unlock()
-	d := trace.NewDataset("published", traces)
+	d := trace.NewDataset("published", s.publishedSnapshot())
 	w.Header().Set("Content-Type", "text/csv")
 	if err := traceio.WriteCSV(w, d); err != nil {
 		// Too late for a status change; the truncated body signals the
@@ -230,10 +368,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	st := s.stats
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
 func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
@@ -246,13 +389,14 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing user id")
 		return
 	}
-	s.mu.Lock()
-	us, ok := s.users[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	us, ok := sh.users[id]
 	var copyStats UserStats
 	if ok {
 		copyStats = *us
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown user")
 		return
@@ -262,21 +406,12 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 
 // Users lists the known uploader IDs, sorted (diagnostics).
 func (s *Server) Users() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.users))
-	for u := range s.users {
-		out = append(out, u)
-	}
-	sort.Strings(out)
-	return out
+	return s.userIDs()
 }
 
 // Stats returns a snapshot of the global counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return s.statsSnapshot()
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"mood/internal/trace"
+)
+
+// numShards is the fan-out of the server state. Uploads from users that
+// hash to different shards touch disjoint mutexes, so the hot path never
+// serialises distinct participants. 16 comfortably exceeds the worker
+// pool on typical hardware while keeping aggregation cheap.
+const numShards = 16
+
+// stateShard holds one slice of the server state: the users that hash
+// here, the fragments they published, and the partial global counters.
+// The global view is the sum over shards.
+type stateShard struct {
+	mu        sync.Mutex
+	published []trace.Trace
+	users     map[string]*UserStats
+	stats     ServerStats
+}
+
+// shardFor maps a user ID to its shard.
+func shardFor(user string) int {
+	h := fnv.New32a()
+	h.Write([]byte(user)) //nolint:errcheck // fnv never fails
+	return int(h.Sum32() % numShards)
+}
+
+func (s *Server) shard(user string) *stateShard {
+	return &s.shards[shardFor(user)]
+}
+
+// accumulate folds one shard's partial counters into the total. Every
+// aggregation path goes through here so a new counter field cannot be
+// summed in one place and silently dropped in another.
+func (st *ServerStats) accumulate(sh *stateShard) {
+	st.Uploads += sh.stats.Uploads
+	st.Users += sh.stats.Users
+	st.RecordsIn += sh.stats.RecordsIn
+	st.RecordsPublished += sh.stats.RecordsPublished
+	st.RecordsRejected += sh.stats.RecordsRejected
+	st.PublishedTraces += len(sh.published)
+}
+
+// statsSnapshot sums the per-shard partial counters into the global
+// view clients see on /v1/stats.
+func (s *Server) statsSnapshot() ServerStats {
+	var out ServerStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.accumulate(sh)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// publishedSnapshot copies every shard's published fragments. Order is
+// by shard then insertion, which deliberately does not reflect global
+// upload order (the dataset endpoints reassemble it fresh anyway).
+func (s *Server) publishedSnapshot() []trace.Trace {
+	var out []trace.Trace
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.published...)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// userIDs lists the known uploader IDs, sorted.
+func (s *Server) userIDs() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for u := range sh.users {
+			out = append(out, u)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fullSnapshot copies published, users and stats while holding every
+// shard lock at once, so the persisted state is a single point in time:
+// an upload committing concurrently is either entirely in the snapshot
+// or entirely absent, never torn across sections. Shards lock in index
+// order; all other paths lock one shard at a time, so this cannot
+// deadlock.
+func (s *Server) fullSnapshot() (published []trace.Trace, users map[string]*UserStats, stats ServerStats) {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+	}()
+	users = make(map[string]*UserStats)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		published = append(published, sh.published...)
+		for u, us := range sh.users {
+			cp := *us
+			users[u] = &cp
+		}
+		stats.accumulate(sh)
+	}
+	return published, users, stats
+}
+
+// resetShards replaces the whole sharded state with the given snapshot
+// (used by LoadState). Per-shard partial stats are rederived from the
+// user accounting, which sums exactly to the persisted global stats.
+func (s *Server) resetShards(published []trace.Trace, users map[string]*UserStats) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.published = nil
+		sh.users = make(map[string]*UserStats)
+		sh.stats = ServerStats{}
+		sh.mu.Unlock()
+	}
+	for u, us := range users {
+		sh := s.shard(u)
+		sh.mu.Lock()
+		cp := *us
+		sh.users[u] = &cp
+		sh.stats.Users++
+		sh.stats.Uploads += us.Uploads
+		sh.stats.RecordsIn += us.RecordsIn
+		sh.stats.RecordsPublished += us.RecordsPublished
+		sh.stats.RecordsRejected += us.RecordsRejected
+		sh.mu.Unlock()
+	}
+	for _, tr := range published {
+		sh := s.shard(tr.User)
+		sh.mu.Lock()
+		sh.published = append(sh.published, tr)
+		sh.mu.Unlock()
+	}
+}
