@@ -58,8 +58,11 @@ type AP struct {
 }
 
 type apProfile struct {
-	user   string
-	slices []*heatmap.Heatmap // one per time slice
+	user string
+	// slices holds one frozen heatmap per time slice: Train freezes every
+	// profile once, so the Identify scan is pure merge walks with no
+	// per-comparison allocation.
+	slices []*heatmap.Frozen
 }
 
 // sliceOf maps a Unix timestamp to its time-of-day slice index.
@@ -82,8 +85,8 @@ func (a *AP) slices() int {
 	return a.TimeSlices
 }
 
-// buildSlices aggregates a trace into per-slice heatmaps.
-func (a *AP) buildSlices(t trace.Trace) []*heatmap.Heatmap {
+// buildSlices aggregates a trace into per-slice frozen heatmaps.
+func (a *AP) buildSlices(t trace.Trace) []*heatmap.Frozen {
 	hms := make([]*heatmap.Heatmap, a.slices())
 	for i := range hms {
 		hms[i] = heatmap.New(a.grid)
@@ -91,7 +94,11 @@ func (a *AP) buildSlices(t trace.Trace) []*heatmap.Heatmap {
 	for _, r := range t.Records {
 		hms[a.sliceOf(r.TS)].Add(r.Point(), 1)
 	}
-	return hms
+	out := make([]*heatmap.Frozen, len(hms))
+	for i, hm := range hms {
+		out[i] = hm.Freeze()
+	}
+	return out
 }
 
 var _ Attack = (*AP)(nil)
@@ -134,7 +141,9 @@ func (a *AP) Train(background []trace.Trace) error {
 	return nil
 }
 
-// Identify implements Attack.
+// Identify implements Attack. The anonymous trace is frozen once; the
+// profile scan is then allocation-free merge walks with a best-so-far
+// early exit (see identifyFrozen).
 func (a *AP) Identify(t trace.Trace) Verdict {
 	if a.grid == nil {
 		return Verdict{}
@@ -142,10 +151,22 @@ func (a *AP) Identify(t trace.Trace) Verdict {
 	if t.Empty() {
 		return Verdict{}
 	}
-	anon := a.buildSlices(t)
+	return a.identifyFrozen(a.buildSlices(t))
+}
+
+// identifyFrozen scans the trained profiles for the smallest weighted
+// divergence to the frozen anonymous slices. A profile is abandoned as
+// soon as its accumulated weighted score can no longer drop below the
+// best seen so far — sound because every divergence term is non-negative
+// (see heatmap.TopsoeBounded) — so the verdict is bit-identical to an
+// exhaustive scan. The loop allocates nothing.
+func (a *AP) identifyFrozen(anon []*heatmap.Frozen) Verdict {
 	best := Verdict{Score: math.Inf(1)}
-	for _, p := range a.profiles {
-		var d, weight float64
+	for pi := range a.profiles {
+		p := &a.profiles[pi]
+		// First pass: the total slice weight, so the early-exit bound can
+		// be expressed on the final weighted score d/weight.
+		var weight float64
 		for i, hm := range anon {
 			if hm.Total() == 0 && p.slices[i].Total() == 0 {
 				continue // neither side has data in this slice
@@ -154,8 +175,21 @@ func (a *AP) Identify(t trace.Trace) Verdict {
 			if w == 0 {
 				w = 1 // profile-only slice: small disagreement weight
 			}
-			d += w * a.distance(hm, p.slices[i])
 			weight += w
+		}
+		var d float64
+		for i, hm := range anon {
+			if hm.Total() == 0 && p.slices[i].Total() == 0 {
+				continue
+			}
+			w := hm.Total()
+			if w == 0 {
+				w = 1
+			}
+			d += a.sliceTerm(hm, p.slices[i], w, d, weight, best.Score)
+			if d/weight >= best.Score {
+				break // cannot beat the best profile any more
+			}
 		}
 		if weight > 0 {
 			d /= weight
@@ -167,20 +201,19 @@ func (a *AP) Identify(t trace.Trace) Verdict {
 	return best
 }
 
-// distance applies the configured divergence.
-func (a *AP) distance(h, o *heatmap.Heatmap) float64 {
+// sliceTerm returns one slice's weighted contribution w*distance under
+// the configured divergence, walking with the early-exit bound of the
+// enclosing scan: acc is the score accumulated over previous slices,
+// weight the profile's total slice weight and bound the best final score
+// seen so far.
+func (a *AP) sliceTerm(anon, prof *heatmap.Frozen, w, acc, weight, bound float64) float64 {
 	switch a.Divergence {
 	case DivJensenShannon:
-		return h.Topsoe(o) / 2
+		return w * (anon.TopsoeBounded(prof, 0.5*w, acc, weight, bound) / 2)
 	case DivL1:
-		p, q := heatmap.Distributions(h, o)
-		var d float64
-		for i := range p {
-			d += math.Abs(p[i] - q[i])
-		}
-		return d
+		return w * anon.L1Bounded(prof, w, acc, weight, bound)
 	default:
-		return h.Topsoe(o)
+		return w * anon.TopsoeBounded(prof, w, acc, weight, bound)
 	}
 }
 

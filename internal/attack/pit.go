@@ -28,6 +28,10 @@ type PIT struct {
 type pitProfile struct {
 	user  string
 	chain mmc.Chain
+	// stat is the chain's stationary distribution, computed once at
+	// Train time; StatsProx needs it for every comparison and the power
+	// iteration is the expensive part.
+	stat []float64
 }
 
 var _ Attack = (*PIT)(nil)
@@ -52,7 +56,7 @@ func (a *PIT) Train(background []trace.Trace) error {
 		if c.Empty() {
 			continue
 		}
-		a.profiles = append(a.profiles, pitProfile{user: t.User, chain: c})
+		a.profiles = append(a.profiles, pitProfile{user: t.User, chain: c, stat: c.Stationary()})
 	}
 	a.trained = true
 	return nil
@@ -67,9 +71,14 @@ func (a *PIT) Identify(t trace.Trace) Verdict {
 	if c.Empty() {
 		return Verdict{}
 	}
+	// The anonymous chain's stationary distribution is fixed across the
+	// scan; computing it once and abandoning profiles whose stationary
+	// part alone exceeds the best score keeps the loop cheap without
+	// changing the argmin.
+	stat := c.Stationary()
 	best := Verdict{Score: math.Inf(1)}
 	for _, p := range a.profiles {
-		if d := mmc.StatsProx(c, p.chain); d < best.Score {
+		if d := mmc.StatsProxBounded(c, p.chain, stat, p.stat, best.Score); d < best.Score {
 			best = Verdict{User: p.user, Score: d, OK: true}
 		}
 	}

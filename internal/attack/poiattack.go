@@ -73,7 +73,7 @@ func (a *POIAttack) Identify(t trace.Trace) Verdict {
 	weights := poi.Weights(pois)
 	best := Verdict{Score: math.Inf(1)}
 	for _, p := range a.profiles {
-		if d := poiSetDistance(pois, weights, p.pois); d < best.Score {
+		if d := poiSetDistance(pois, weights, p.pois, best.Score); d < best.Score {
 			best = Verdict{User: p.user, Score: d, OK: true}
 		}
 	}
@@ -82,8 +82,11 @@ func (a *POIAttack) Identify(t trace.Trace) Verdict {
 
 // poiSetDistance is the weighted mean distance from each anonymous POI
 // to the nearest profile POI. Weighting by record mass makes home/work
-// dominate, as in the original attack's similarity function.
-func poiSetDistance(anon []poi.POI, weights []float64, profile []poi.POI) float64 {
+// dominate, as in the original attack's similarity function. Every term
+// is non-negative, so the accumulation abandons a profile as soon as the
+// partial distance reaches bound (the best score so far); a completed
+// scan returns the exact distance, so verdicts match a full scan.
+func poiSetDistance(anon []poi.POI, weights []float64, profile []poi.POI, bound float64) float64 {
 	var d float64
 	for i, ap := range anon {
 		best := math.Inf(1)
@@ -93,6 +96,9 @@ func poiSetDistance(anon []poi.POI, weights []float64, profile []poi.POI) float6
 			}
 		}
 		d += weights[i] * best
+		if d >= bound {
+			return d
+		}
 	}
 	return d
 }

@@ -312,12 +312,14 @@ func (e *Engine) pseudonym(user string, n int) string {
 	return "anon-" + strconv.FormatUint(h&0xffffffffff, 36)
 }
 
-// ProtectDataset protects every trace of d in parallel and returns the
-// per-user results ordered by user ID.
-func (e *Engine) ProtectDataset(d trace.Dataset) ([]Result, error) {
-	if len(e.LPPMs) == 0 {
-		return nil, ErrNoLPPMs
-	}
+// protectEach runs protect over every trace of d on a bounded worker
+// pool (GOMAXPROCS), preserving input order: slot i always holds trace
+// i's outcome, so callers see exactly the sequential result. It is the
+// shared fan-out of every Protector's ProtectDataset — protect must be a
+// deterministic, concurrency-safe function of its trace, which all three
+// protectors are (mechanisms are value types, trained attacks are
+// immutable, randomness derives from (Seed, user)).
+func protectEach(d trace.Dataset, protect func(trace.Trace) (Result, error)) ([]Result, []error) {
 	results := make([]Result, len(d.Traces))
 	errs := make([]error, len(d.Traces))
 
@@ -335,7 +337,7 @@ func (e *Engine) ProtectDataset(d trace.Dataset) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = e.Protect(d.Traces[i])
+				results[i], errs[i] = protect(d.Traces[i])
 			}
 		}()
 	}
@@ -344,7 +346,16 @@ func (e *Engine) ProtectDataset(d trace.Dataset) ([]Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	return results, errs
+}
 
+// ProtectDataset protects every trace of d in parallel and returns the
+// per-user results ordered by user ID.
+func (e *Engine) ProtectDataset(d trace.Dataset) ([]Result, error) {
+	if len(e.LPPMs) == 0 {
+		return nil, ErrNoLPPMs
+	}
+	results, errs := protectEach(d, e.Protect)
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: protecting %s: %w", d.Traces[i].User, err)

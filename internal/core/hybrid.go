@@ -76,21 +76,23 @@ func (h Hybrid) Protect(t trace.Trace) (Result, error) {
 	return res, nil
 }
 
-// ProtectDataset applies the hybrid baseline to every user.
+// ProtectDataset applies the hybrid baseline to every user in parallel
+// (see protectEach); empty traces are skipped, everything else keeps
+// input order.
 func (h Hybrid) ProtectDataset(d trace.Dataset) ([]Result, error) {
 	if len(h.LPPMs) == 0 {
 		return nil, ErrNoLPPMs
 	}
-	out := make([]Result, 0, len(d.Traces))
-	for _, t := range d.Traces {
-		r, err := h.Protect(t)
+	results, errs := protectEach(d, h.Protect)
+	out := make([]Result, 0, len(results))
+	for i, err := range errs {
 		if err != nil {
 			if errors.Is(err, lppm.ErrEmptyTrace) {
 				continue
 			}
 			return nil, err
 		}
-		out = append(out, r)
+		out = append(out, results[i])
 	}
 	return out, nil
 }
@@ -143,20 +145,19 @@ func (s SingleLPPM) Protect(t trace.Trace) (Result, error) {
 	return res, nil
 }
 
-// ProtectDataset applies the single-LPPM baseline to every user.
+// ProtectDataset applies the single-LPPM baseline to every user in
+// parallel (see protectEach), preserving input order.
 func (s SingleLPPM) ProtectDataset(d trace.Dataset) ([]Result, error) {
 	if s.LPPM == nil {
 		return nil, ErrNoLPPMs
 	}
-	out := make([]Result, 0, len(d.Traces))
-	for _, t := range d.Traces {
-		r, err := s.Protect(t)
+	results, errs := protectEach(d, s.Protect)
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
-	return out, nil
+	return results, nil
 }
 
 // Protector is the common interface of MooD and the baselines; the

@@ -1,0 +1,35 @@
+package eval
+
+import (
+	"testing"
+
+	"mood/internal/synth"
+)
+
+// BenchmarkRunAllParallel measures the full evaluation matrix (datasets
+// × strategies × attacks) with the concurrent harness against the
+// sequential reference; both produce identical Runs (see the golden
+// test), so the delta is pure wall-clock.
+func BenchmarkRunAllParallel(b *testing.B) {
+	cfg := Config{
+		Scale:    synth.ScaleTiny,
+		Seed:     5,
+		Datasets: []string{"mdc", "privamov"},
+	}
+	for _, mode := range []struct {
+		name       string
+		concurrent bool
+	}{
+		{"parallel", true},
+		{"sequential", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runAll(cfg, mode.concurrent); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -8,7 +8,9 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"mood/internal/attack"
@@ -171,21 +173,66 @@ var locations = map[string]string{
 	"cabspotting": "San Francisco",
 }
 
-// RunAll executes the full evaluation described by cfg.
-func RunAll(cfg Config) (Run, error) {
+// RunAll executes the full evaluation described by cfg. Datasets, and
+// the strategies within each dataset, are evaluated concurrently: every
+// strategy is an independent deterministic protector scanning immutable
+// trained attack profiles, so the run's outcome — verdicts, bands, data
+// loss, result order — is identical to a sequential pass (the golden
+// test asserts it), only the wall clock changes.
+func RunAll(cfg Config) (Run, error) { return runAll(cfg, true) }
+
+// runAll is RunAll with the concurrency switchable, so tests can compare
+// the parallel run against the sequential reference byte for byte.
+//
+// Concurrency is bounded per level (datasets, strategies, and the
+// per-trace pool inside ProtectDataset), not globally: a parent
+// goroutine blocked on its children holds no CPU, so the runnable set is
+// the innermost workers and the scheduler multiplexes them onto
+// GOMAXPROCS cores. The worst-case goroutine count is the product of the
+// level bounds — a few hundred on big hosts, cheap for Go — in exchange
+// for never deadlocking the way a single shared token pool could when a
+// parent waits on children that need tokens.
+func runAll(cfg Config, concurrent bool) (Run, error) {
 	cfg = cfg.withDefaults()
-	run := Run{Config: cfg}
-	for _, name := range cfg.Datasets {
-		de, err := runDataset(cfg, name)
+	evals := make([]DatasetEval, len(cfg.Datasets))
+	errs := make([]error, len(cfg.Datasets))
+	boundedForEach(concurrent && len(cfg.Datasets) > 1, len(cfg.Datasets), func(i int) {
+		evals[i], errs[i] = runDataset(cfg, cfg.Datasets[i], concurrent)
+	})
+	for i, err := range errs {
 		if err != nil {
-			return Run{}, fmt.Errorf("eval: dataset %s: %w", name, err)
+			return Run{}, fmt.Errorf("eval: dataset %s: %w", cfg.Datasets[i], err)
 		}
-		run.Datasets = append(run.Datasets, de)
 	}
-	return run, nil
+	return Run{Config: cfg, Datasets: evals}, nil
 }
 
-func runDataset(cfg Config, name string) (DatasetEval, error) {
+// boundedForEach runs each(0..n-1), concurrently when requested with at
+// most GOMAXPROCS bodies in flight. Each invocation must write only its
+// own slots; boundedForEach returns after every body has finished, so
+// the caller reads results with a happens-before edge either way.
+func boundedForEach(concurrent bool, n int, each func(i int)) {
+	if !concurrent {
+		for i := 0; i < n; i++ {
+			each(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			each(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func runDataset(cfg Config, name string, concurrent bool) (DatasetEval, error) {
 	synthCfg, err := synth.PresetByName(name, cfg.Scale, cfg.Seed)
 	if err != nil {
 		return DatasetEval{}, err
@@ -250,16 +297,35 @@ func runDataset(cfg Config, name string) (DatasetEval, error) {
 		}},
 	}
 
-	for _, pr := range protectors {
+	// Every protector is deterministic and scans the same immutable
+	// trained state (attacks and HMC profiles are read-only after
+	// training, mechanisms are value types, and every stochastic draw is
+	// derived from (Seed, user)), so the strategies are independent and
+	// can run concurrently. Each goroutine writes only its own slot;
+	// presentation order stays StrategyOrder.
+	sEvals := make([]StrategyEval, len(protectors))
+	sErrs := make([]error, len(protectors))
+	var fineG []FineGrainedUser
+	runStrategy := func(i int) {
+		pr := protectors[i]
 		results, err := pr.p.ProtectDataset(test)
 		if err != nil {
-			return DatasetEval{}, fmt.Errorf("strategy %s: %w", pr.name, err)
+			sErrs[i] = fmt.Errorf("strategy %s: %w", pr.name, err)
+			return
 		}
-		de.Strategies = append(de.Strategies, summarise(pr.name, results))
+		sEvals[i] = summarise(pr.name, results)
 		if pr.name == StratMooD {
-			de.FineGrained = fineGrained(results)
+			fineG = fineGrained(results)
 		}
 	}
+	boundedForEach(concurrent, len(protectors), runStrategy)
+	for _, err := range sErrs {
+		if err != nil {
+			return DatasetEval{}, err
+		}
+	}
+	de.Strategies = sEvals
+	de.FineGrained = fineG
 	return de, nil
 }
 
@@ -303,9 +369,23 @@ func fineGrained(results []core.Result) []FineGrainedUser {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
 	for i := range out {
-		out[i].Label = "USER " + string(rune('A'+i%26))
+		out[i].Label = "USER " + spreadsheetLabel(i)
 	}
 	return out
+}
+
+// spreadsheetLabel converts a 0-based index to spreadsheet column style:
+// A..Z, then AA, AB, ... — so the paper-style anonymous labels stay
+// unique past 26 orphans instead of wrapping around.
+func spreadsheetLabel(i int) string {
+	var buf [8]byte
+	pos := len(buf)
+	for i >= 0 {
+		pos--
+		buf[pos] = byte('A' + i%26)
+		i = i/26 - 1
+	}
+	return string(buf[pos:])
 }
 
 // OrphanUsers lists the users a strategy failed to protect, sorted.

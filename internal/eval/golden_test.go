@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mood/internal/synth"
+)
+
+// TestRunAllParallelMatchesSequentialGolden is the acceptance gate of
+// the parallel evaluation matrix: the concurrent RunAll must produce a
+// Run byte-identical to the sequential reference — same verdicts, bands,
+// data loss, piece traces and ordering — because every strategy is a
+// deterministic function of (Seed, user) over immutable trained state.
+func TestRunAllParallelMatchesSequentialGolden(t *testing.T) {
+	cfg := Config{
+		Scale:    synth.ScaleTiny,
+		Seed:     5,
+		Datasets: []string{"mdc", "privamov"},
+	}
+	seq, err := runAll(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runAll(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel RunAll differs from sequential reference")
+	}
+	// Byte-identical on the wire too (JSON encodes maps with sorted
+	// keys, so equal values must serialise to equal bytes).
+	sb, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sb) != string(pb) {
+		t.Fatal("parallel RunAll serialises differently from sequential reference")
+	}
+}
+
+func TestSpreadsheetLabel(t *testing.T) {
+	cases := map[int]string{
+		0:  "A",
+		1:  "B",
+		25: "Z",
+		26: "AA",
+		27: "AB",
+		51: "AZ",
+		52: "BA",
+		77: "BZ",
+		// 26 + 26*26 = 702 is the first three-letter label.
+		701: "ZZ",
+		702: "AAA",
+	}
+	for i, want := range cases {
+		if got := spreadsheetLabel(i); got != want {
+			t.Errorf("spreadsheetLabel(%d) = %q, want %q", i, got, want)
+		}
+	}
+	// No collisions over a label space far past one alphabet.
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		l := spreadsheetLabel(i)
+		if seen[l] {
+			t.Fatalf("label %q repeats at %d", l, i)
+		}
+		seen[l] = true
+	}
+}

@@ -1,0 +1,37 @@
+package heatmap
+
+import (
+	"testing"
+
+	"mood/internal/mathx"
+)
+
+// BenchmarkFrozenTopsoe compares one heatmap divergence through the
+// frozen merge walk against the dense Distributions path it replaced.
+// The two produce bit-identical values (see the property test); the walk
+// must additionally run at 0 allocs/op.
+func BenchmarkFrozenTopsoe(b *testing.B) {
+	rng := mathx.NewRand(9)
+	a := randomHeatmap(rng, 400, 40)
+	o := randomHeatmap(rng, 400, 40)
+	fa, fo := a.Freeze(), o.Freeze()
+	want := fa.Topsoe(fo)
+
+	b.Run("frozen", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if d := fa.Topsoe(fo); d != want {
+				b.Fatalf("divergence drifted: %v != %v", d, want)
+			}
+		}
+	})
+	b.Run("dense-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, q := Distributions(a, o)
+			if d := mathx.Topsoe(p, q); d != want {
+				b.Fatalf("divergence drifted: %v != %v", d, want)
+			}
+		}
+	})
+}

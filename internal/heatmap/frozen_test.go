@@ -1,0 +1,146 @@
+package heatmap
+
+import (
+	"math"
+	"testing"
+
+	"mood/internal/geo"
+	"mood/internal/mathx"
+)
+
+// randomHeatmap builds a sparse heatmap with n cells drawn from a
+// bounded integer box, with small integer-ish weights so supports of two
+// heatmaps overlap partially.
+func randomHeatmap(rng *mathx.Rand, n, box int) *Heatmap {
+	h := New(grid())
+	for i := 0; i < n; i++ {
+		c := geo.Cell{
+			X: int32(rng.Intn(box)),
+			Y: int32(rng.Intn(box)),
+		}
+		h.AddCell(c, float64(1+rng.Intn(9)))
+	}
+	return h
+}
+
+// denseL1 is the reference L1 over the aligned dense vectors, the exact
+// computation the pre-Frozen AP code ran.
+func denseL1(a, b *Heatmap) float64 {
+	p, q := Distributions(a, b)
+	var d float64
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d
+}
+
+// TestFrozenMatchesDenseExactly is the property test of the merge-walk
+// divergences: on randomized sparse heatmaps — overlapping, disjoint and
+// empty supports — the Frozen Topsoe, Jensen-Shannon and L1 walks must
+// be numerically identical (==, not within tolerance) to the dense
+// Distributions-based path, because both visit the union support in the
+// same sorted order and fold through the same scalar kernels.
+func TestFrozenMatchesDenseExactly(t *testing.T) {
+	rng := mathx.NewRand(77)
+	check := func(name string, a, b *Heatmap) {
+		t.Helper()
+		fa, fb := a.Freeze(), b.Freeze()
+		p, q := Distributions(a, b)
+		wantTopsoe := mathx.Topsoe(p, q)
+		if got := fa.Topsoe(fb); got != wantTopsoe {
+			t.Errorf("%s: frozen Topsoe %v != dense %v", name, got, wantTopsoe)
+		}
+		if got := fa.JensenShannon(fb); got != wantTopsoe/2 {
+			t.Errorf("%s: frozen JS %v != dense %v", name, fa.JensenShannon(fb), wantTopsoe/2)
+		}
+		if got, want := fa.L1(fb), denseL1(a, b); got != want {
+			t.Errorf("%s: frozen L1 %v != dense %v", name, got, want)
+		}
+		// Symmetry spot check against the dense reference too.
+		pr, qr := Distributions(b, a)
+		if got := fb.Topsoe(fa); got != mathx.Topsoe(pr, qr) {
+			t.Errorf("%s: reversed frozen Topsoe %v != dense %v", name, got, mathx.Topsoe(pr, qr))
+		}
+	}
+
+	for round := 0; round < 200; round++ {
+		a := randomHeatmap(rng, 1+rng.Intn(40), 12)
+		b := randomHeatmap(rng, 1+rng.Intn(40), 12)
+		check("overlapping", a, b)
+	}
+	for round := 0; round < 50; round++ {
+		a := randomHeatmap(rng, 1+rng.Intn(20), 8)
+		b := New(grid())
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			// Shifted far outside a's box: guaranteed disjoint support.
+			b.AddCell(geo.Cell{X: int32(1000 + rng.Intn(8)), Y: int32(rng.Intn(8))}, float64(1+rng.Intn(9)))
+		}
+		check("disjoint", a, b)
+	}
+	empty := New(grid())
+	check("both-empty", empty, empty)
+	for round := 0; round < 20; round++ {
+		a := randomHeatmap(rng, 1+rng.Intn(20), 8)
+		check("one-empty", a, empty)
+		check("empty-one", empty, a)
+	}
+}
+
+// TestFrozenSnapshotImmutable checks Freeze is a snapshot: mutating the
+// source heatmap afterwards must not change the frozen view.
+func TestFrozenSnapshotImmutable(t *testing.T) {
+	h := New(grid())
+	h.AddCell(geo.Cell{X: 1, Y: 1}, 3)
+	h.AddCell(geo.Cell{X: 2, Y: 5}, 7)
+	f := h.Freeze()
+	other := FrozenFromTrace(grid(), clusteredTrace("o", geo.Offset(origin, 3000, 0), 40))
+	before := f.Topsoe(other)
+	h.AddCell(geo.Cell{X: 9, Y: 9}, 100)
+	if got := f.Topsoe(other); got != before {
+		t.Fatalf("frozen view changed after source mutation: %v != %v", got, before)
+	}
+	if f.Total() != 10 || f.Cells() != 2 {
+		t.Fatalf("snapshot stats changed: total %v cells %d", f.Total(), f.Cells())
+	}
+}
+
+// TestBoundedWalkSoundness checks the early-exit contract: with an
+// infinite bound the bounded walks equal the exact divergences, and a
+// best-so-far scan over random profiles using bounded walks picks
+// exactly the argmin a full scan picks.
+func TestBoundedWalkSoundness(t *testing.T) {
+	rng := mathx.NewRand(123)
+	inf := math.Inf(1)
+	for round := 0; round < 100; round++ {
+		anon := randomHeatmap(rng, 1+rng.Intn(30), 10).Freeze()
+		profiles := make([]*Frozen, 12)
+		for i := range profiles {
+			profiles[i] = randomHeatmap(rng, 1+rng.Intn(30), 10).Freeze()
+		}
+
+		if got, want := anon.TopsoeBounded(profiles[0], 1, 0, 1, inf), anon.Topsoe(profiles[0]); got != want {
+			t.Fatalf("unbounded TopsoeBounded %v != Topsoe %v", got, want)
+		}
+		if got, want := anon.L1Bounded(profiles[0], 1, 0, 1, inf), anon.L1(profiles[0]); got != want {
+			t.Fatalf("unbounded L1Bounded %v != L1 %v", got, want)
+		}
+
+		// Full scan (exact argmin, strict <, first wins on ties).
+		wantIdx, wantBest := -1, inf
+		for i, p := range profiles {
+			if d := anon.Topsoe(p); d < wantBest {
+				wantIdx, wantBest = i, d
+			}
+		}
+		// Early-exit scan.
+		gotIdx, gotBest := -1, inf
+		for i, p := range profiles {
+			if d := anon.TopsoeBounded(p, 1, 0, 1, gotBest); d < gotBest {
+				gotIdx, gotBest = i, d
+			}
+		}
+		if gotIdx != wantIdx || gotBest != wantBest {
+			t.Fatalf("early-exit scan picked %d (%v), full scan %d (%v)", gotIdx, gotBest, wantIdx, wantBest)
+		}
+	}
+}

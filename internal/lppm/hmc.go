@@ -50,9 +50,11 @@ const DefaultHMCCover = 0.9
 const DefaultHMCMaxCells = 24
 
 type hmcProfile struct {
-	user  string
-	hm    *heatmap.Heatmap
-	cells []heatmap.CellWeight // descending weight
+	user string
+	// frozen is the profile heatmap in sorted-sparse form, frozen once at
+	// construction so target selection is allocation-free merge walks.
+	frozen *heatmap.Frozen
+	cells  []heatmap.CellWeight // descending weight
 }
 
 var _ Mechanism = (*HMC)(nil)
@@ -87,9 +89,9 @@ func NewHMC(cellSize float64, background []trace.Trace) (*HMC, error) {
 		}
 		hm := heatmap.FromTrace(grid, t)
 		h.profiles = append(h.profiles, hmcProfile{
-			user:  t.User,
-			hm:    hm,
-			cells: hm.TopCells(0),
+			user:   t.User,
+			frozen: hm.Freeze(),
+			cells:  hm.TopCells(0),
 		})
 	}
 	if len(h.profiles) < 2 {
@@ -129,7 +131,7 @@ func (h *HMC) Obfuscate(_ *mathx.Rand, t trace.Trace) (trace.Trace, error) {
 		return trace.Trace{}, ErrEmptyTrace
 	}
 	src := heatmap.FromTrace(h.grid, t)
-	target := h.pickTarget(t.User, src)
+	target := h.pickTarget(t.User, src.Freeze())
 	if target == nil {
 		return trace.Trace{}, fmt.Errorf("lppm: HMC found no target profile for user %q", t.User)
 	}
@@ -153,8 +155,10 @@ func (h *HMC) Obfuscate(_ *mathx.Rand, t trace.Trace) (trace.Trace, error) {
 }
 
 // pickTarget returns the background profile most similar to src that
-// does not belong to the same user.
-func (h *HMC) pickTarget(user string, src *heatmap.Heatmap) *hmcProfile {
+// does not belong to the same user. The scan abandons a profile as soon
+// as its partial divergence reaches the best seen so far; Topsoe terms
+// are non-negative, so the chosen target is identical to a full scan.
+func (h *HMC) pickTarget(user string, src *heatmap.Frozen) *hmcProfile {
 	var best *hmcProfile
 	bestD := math.Inf(1)
 	for i := range h.profiles {
@@ -162,7 +166,7 @@ func (h *HMC) pickTarget(user string, src *heatmap.Heatmap) *hmcProfile {
 		if p.user == user {
 			continue
 		}
-		if d := src.Topsoe(p.hm); d < bestD {
+		if d := src.TopsoeBounded(p.frozen, 1, 0, 1, bestD); d < bestD {
 			bestD = d
 			best = p
 		}
@@ -254,8 +258,7 @@ func (h *HMC) TargetOf(t trace.Trace) (string, bool) {
 	if t.Empty() {
 		return "", false
 	}
-	src := heatmap.FromTrace(h.grid, t)
-	p := h.pickTarget(t.User, src)
+	p := h.pickTarget(t.User, heatmap.FrozenFromTrace(h.grid, t))
 	if p == nil {
 		return "", false
 	}

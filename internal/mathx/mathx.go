@@ -99,6 +99,34 @@ func KL(p, q []float64) float64 {
 	return d
 }
 
+// TopsoeAccum folds one aligned probability pair (pi, qi) into a running
+// Topsoe sum d and returns the new sum. Both contributions are
+// non-negative, so a partial sum is a lower bound on the final divergence
+// — the property the early-exit scans in attack and lppm rely on.
+//
+// This is the single scalar kernel behind every Topsoe path in the repo
+// (the dense Topsoe below and the sorted-sparse merge walk of
+// heatmap.Frozen): because both walk their supports in the same sorted
+// cell order and fold through the exact same float operations, their
+// results are bit-identical, not merely close.
+func TopsoeAccum(d, pi, qi float64) float64 {
+	m := (pi + qi) / 2
+	if pi > 0 {
+		d += pi * math.Log(pi/m)
+	}
+	if qi > 0 {
+		d += qi * math.Log(qi/m)
+	}
+	return d
+}
+
+// L1Accum folds one aligned probability pair into a running L1
+// (total-variation-style) sum. Terms are non-negative, so partial sums
+// lower-bound the final distance, as with TopsoeAccum.
+func L1Accum(d, pi, qi float64) float64 {
+	return d + math.Abs(pi-qi)
+}
+
 // Topsoe returns the Topsoe divergence between two aligned discrete
 // distributions: D(p||m) + D(q||m) with m the midpoint distribution.
 // It is symmetric, finite for any pair of distributions, and equals
@@ -118,13 +146,7 @@ func Topsoe(p, q []float64) float64 {
 		if i < len(q) {
 			qi = q[i]
 		}
-		m := (pi + qi) / 2
-		if pi > 0 {
-			d += pi * math.Log(pi/m)
-		}
-		if qi > 0 {
-			d += qi * math.Log(qi/m)
-		}
+		d = TopsoeAccum(d, pi, qi)
 	}
 	return d
 }

@@ -163,11 +163,14 @@ func StationaryDistance(a, b Chain) float64 {
 	if a.Empty() || b.Empty() {
 		return math.Inf(1)
 	}
-	return (directedStationary(a, b) + directedStationary(b, a)) / 2
+	return (directedStationary(a, b, a.Stationary()) + directedStationary(b, a, b.Stationary())) / 2
 }
 
-func directedStationary(a, b Chain) float64 {
-	pia := a.Stationary()
+// directedStationary takes a's stationary distribution precomputed so
+// scans comparing one chain against many profiles (the PIT-attack inner
+// loop) run the expensive power iteration once per chain, not once per
+// pair.
+func directedStationary(a, b Chain, pia []float64) float64 {
 	var d float64
 	for i, s := range a.States {
 		best := math.Inf(1)
@@ -191,10 +194,10 @@ func ProximityDistance(a, b Chain) float64 {
 	if a.Empty() || b.Empty() {
 		return math.Inf(1)
 	}
-	return (directedProximity(a, b) + directedProximity(b, a)) / 2
+	return (directedProximity(a, b, a.Stationary()) + directedProximity(b, a, b.Stationary())) / 2
 }
 
-func directedProximity(a, b Chain) float64 {
+func directedProximity(a, b Chain, pia []float64) float64 {
 	match := make([]int, len(a.States))
 	for i, s := range a.States {
 		best, bestD := 0, math.Inf(1)
@@ -205,7 +208,6 @@ func directedProximity(a, b Chain) float64 {
 		}
 		match[i] = best
 	}
-	pia := a.Stationary()
 	var d float64
 	for i := range a.States {
 		for k := range a.States {
@@ -216,18 +218,42 @@ func directedProximity(a, b Chain) float64 {
 	return d
 }
 
+// meterScale converts stationary displacement to the proximity scale:
+// 1 km of stationary displacement weighs as much as a full unit of
+// transition-probability difference.
+const meterScale = 1000.0
+
 // StatsProx combines the stationary and proximity distances as the
 // PIT-attack's most effective metric. The two components live on
 // different scales (meters vs probability mass), so they are combined
 // after normalising the stationary part by a city-scale constant.
 func StatsProx(a, b Chain) float64 {
-	sd := StationaryDistance(a, b)
-	pd := ProximityDistance(a, b)
-	if math.IsInf(sd, 1) || math.IsInf(pd, 1) {
+	if a.Empty() || b.Empty() {
 		return math.Inf(1)
 	}
-	// 1 km of stationary displacement weighs as much as a full unit of
-	// transition-probability difference.
-	const meterScale = 1000.0
+	return StatsProxBounded(a, b, a.Stationary(), b.Stationary(), math.Inf(1))
+}
+
+// StatsProxBounded is StatsProx with the stationary distributions
+// precomputed by the caller and a best-so-far early exit: both component
+// distances are non-negative, so once the stationary part alone reaches
+// bound the proximity part cannot bring the total back below it and the
+// partial value is returned. A comparison that completes returns exactly
+// StatsProx, so a nearest-profile scan picks the same chain either way.
+func StatsProxBounded(a, b Chain, pia, pib []float64, bound float64) float64 {
+	if a.Empty() || b.Empty() {
+		return math.Inf(1)
+	}
+	sd := (directedStationary(a, b, pia) + directedStationary(b, a, pib)) / 2
+	if math.IsInf(sd, 1) {
+		return math.Inf(1)
+	}
+	if partial := sd / meterScale; partial >= bound {
+		return partial
+	}
+	pd := (directedProximity(a, b, pia) + directedProximity(b, a, pib)) / 2
+	if math.IsInf(pd, 1) {
+		return math.Inf(1)
+	}
 	return sd/meterScale + pd
 }

@@ -1,0 +1,280 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"sync"
+
+	"mood/internal/trace"
+)
+
+// Upload idempotency: the pipeline is at-least-once by construction — a
+// sync upload that times out after being enqueued still commits, so a
+// client retrying the 503 would publish the same chunk twice. Clients
+// that send an `X-Mood-Idempotency-Key` header on POST /v1/upload opt
+// into a bounded dedupe window: the first request under a (user, key)
+// pair executes, and every retry replays the original outcome — waiting
+// for it if the original is still running — instead of committing again.
+// Keys are scoped per user, so one participant cannot collide with (or
+// probe) another's keys. Failed uploads release their key: a retry after
+// a genuine engine error re-executes, because the failure committed
+// nothing. The window is bounded by entry count (oldest completed
+// entries evicted first), so a long-lived server cannot leak memory one
+// key at a time.
+
+const (
+	// IdempotencyKeyHeader carries the client-chosen dedupe key on
+	// POST /v1/upload.
+	IdempotencyKeyHeader = "X-Mood-Idempotency-Key"
+	// IdempotencyReplayHeader marks a response served from the dedupe
+	// window rather than a fresh execution.
+	IdempotencyReplayHeader = "X-Mood-Idempotency-Replay"
+	// maxIdempotencyKeyLen bounds the header so keys cannot be abused as
+	// a storage channel.
+	maxIdempotencyKeyLen = 200
+	// DefaultIdempotencyWindow is the default dedupe-window capacity in
+	// entries.
+	DefaultIdempotencyWindow = 4096
+)
+
+// errUploadShed completes an idempotency entry whose upload never made
+// it into the queue, so concurrent replay waiters are released and the
+// key freed for the client's next retry.
+var errUploadShed = errors.New("upload shed before execution")
+
+// idemEntry tracks one (user, key) upload from acceptance to outcome.
+type idemEntry struct {
+	// fp fingerprints the original payload: a key reused with a
+	// *different* body is a client bug and must be rejected, not answered
+	// with the first body's result (silent under-delivery). Immutable
+	// after creation.
+	fp uint64
+	// jobID is set when the original upload was asynchronous; replays
+	// are then answered with the job status.
+	jobID string
+	// done is closed once resp/err are final.
+	done chan struct{}
+
+	resp      UploadResponse
+	err       error
+	completed bool
+}
+
+// uploadFingerprint hashes the upload's identity-relevant content (user
+// plus every record's coordinates and timestamp) so replays can detect
+// key reuse across different payloads.
+func uploadFingerprint(t trace.Trace) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(t.User)) //nolint:errcheck // fnv never fails
+	var buf [24]byte
+	for _, r := range t.Records {
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(r.Lat))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.Lon))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(r.TS))
+		h.Write(buf[:]) //nolint:errcheck
+	}
+	return h.Sum64()
+}
+
+// idemStore is the bounded dedupe window.
+type idemStore struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*idemEntry
+	order   []string // insertion order, for eviction
+}
+
+func newIdemStore(capacity int) *idemStore {
+	if capacity <= 0 {
+		capacity = DefaultIdempotencyWindow
+	}
+	return &idemStore{cap: capacity, entries: make(map[string]*idemEntry)}
+}
+
+// idemKey scopes a client key to its user. The user ID is
+// length-prefixed implicitly by the separator: user IDs are validated
+// upstream and client keys are opaque, so the NUL separator cannot occur
+// in either.
+func idemKey(user, key string) string { return user + "\x00" + key }
+
+// begin registers intent to run an upload under (user, key). It returns
+// the tracking entry and whether this caller is the first — the first
+// executes, everyone else replays (after checking the payload
+// fingerprint against the entry's).
+func (st *idemStore) begin(user, key string, fp uint64) (*idemEntry, bool) {
+	k := idemKey(user, key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.entries[k]; ok {
+		return e, false
+	}
+	e := &idemEntry{fp: fp, done: make(chan struct{})}
+	st.entries[k] = e
+	st.order = append(st.order, k)
+	st.evictLocked()
+	return e, true
+}
+
+// setJob records the async job handle for replays to poll.
+func (st *idemStore) setJob(e *idemEntry, jobID string) {
+	st.mu.Lock()
+	e.jobID = jobID
+	st.mu.Unlock()
+}
+
+// jobOf returns the async job handle, if the original was asynchronous.
+func (st *idemStore) jobOf(e *idemEntry) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return e.jobID
+}
+
+// complete finalises an entry with the upload outcome and wakes every
+// replay waiter. A failed upload releases its key so the next retry
+// re-executes; a successful one stays in the window for replays.
+func (st *idemStore) complete(user, key string, e *idemEntry, resp UploadResponse, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e.completed {
+		return
+	}
+	e.resp, e.err, e.completed = resp, err, true
+	close(e.done)
+	if err != nil {
+		k := idemKey(user, key)
+		if st.entries[k] == e {
+			delete(st.entries, k)
+		}
+		// Failures release map entries without going through eviction, so
+		// order is compacted lazily here or it would grow one dead key per
+		// failed upload for the life of the server.
+		st.compactLocked()
+	}
+}
+
+// compactLocked rebuilds order from the live entries once the dead-key
+// overhang gets large, keeping each key's oldest position. Amortised
+// O(1) per completion, like jobStore.remove.
+func (st *idemStore) compactLocked() {
+	if len(st.order) <= 2*len(st.entries)+16 {
+		return
+	}
+	kept := st.order[:0]
+	seen := make(map[string]bool, len(st.entries))
+	for _, k := range st.order {
+		if _, ok := st.entries[k]; ok && !seen[k] {
+			seen[k] = true
+			kept = append(kept, k)
+		}
+	}
+	st.order = kept
+}
+
+// outcome snapshots a completed entry's result without blocking.
+func (st *idemStore) outcome(e *idemEntry) (UploadResponse, error, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return e.resp, e.err, e.completed
+}
+
+// evictLocked drops the oldest *completed* entries above the capacity.
+// Evicting a completed entry only forgets the dedupe — holders of the
+// pointer still read its outcome. Pending entries are never evicted:
+// dropping one would let a retry re-execute while the original is still
+// in flight, the exact double commit this window exists to prevent. The
+// pending population is bounded by the upload pipeline itself (queue
+// depth + workers + in-flight handlers), so the map exceeds cap at most
+// transiently.
+func (st *idemStore) evictLocked() {
+	if len(st.entries) <= st.cap {
+		return
+	}
+	kept := st.order[:0]
+	for _, k := range st.order {
+		e := st.entries[k]
+		if e == nil {
+			continue
+		}
+		if len(st.entries) > st.cap && e.completed {
+			delete(st.entries, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	st.order = kept
+}
+
+// replayUpload answers a request whose (user, key) already executed or
+// is executing. Async originals are answered with their job status;
+// sync originals with the original response, waiting for it when the
+// original is still in flight (the retry-after-timeout case the
+// idempotency window exists for).
+func (s *Server) replayUpload(w http.ResponseWriter, r *http.Request, user string, e *idemEntry) {
+	w.Header().Set(IdempotencyReplayHeader, "true")
+	if jid := s.idem.jobOf(e); jid != "" {
+		if j, ok := s.jobs.get(jid); ok {
+			writeJSON(w, http.StatusAccepted, j)
+			return
+		}
+		// Job evicted from the job store. Async originals complete their
+		// entry before the job is marked finished (and only finished jobs
+		// are evicted), so the entry's outcome is final here; an async
+		// caller still expects the JobStatus shape, so rebuild it.
+		if isAsync(r) {
+			if resp, err, ok := s.idem.outcome(e); ok {
+				j := JobStatus{ID: jid, User: user, State: JobDone, Result: &resp}
+				if err != nil {
+					j = JobStatus{ID: jid, User: user, State: JobFailed, Error: err.Error()}
+				}
+				writeJSON(w, http.StatusOK, j)
+				return
+			}
+		}
+		// Sync caller (or an impossible incomplete entry): fall through
+		// to the waiting path, which serves the entry outcome.
+	}
+	if isAsync(r) {
+		// An async caller must not block on a sync original; answer from
+		// the entry if it is done, shed otherwise.
+		if resp, err, ok := s.idem.outcome(e); ok {
+			writeReplayOutcome(w, resp, err)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "original upload still in progress")
+		return
+	}
+	select {
+	case <-e.done:
+		writeReplayOutcome(w, e.resp, e.err)
+	case <-r.Context().Done():
+		// Same contract as dispatchSync: the original still runs; the
+		// key stays registered, so the next retry replays again.
+		httpError(w, http.StatusServiceUnavailable, "request cancelled before protection finished")
+	case <-s.pool.drained:
+		if resp, err, ok := s.idem.outcome(e); ok {
+			writeReplayOutcome(w, resp, err)
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	}
+}
+
+// writeReplayOutcome maps a completed original's outcome onto the retry:
+// a shed original was never executed, so the replayer gets the same
+// 503 + Retry-After the original caller saw (not a 500, which retrying
+// clients treat as fatal); real engine failures stay 500s.
+func writeReplayOutcome(w http.ResponseWriter, resp UploadResponse, err error) {
+	switch {
+	case errors.Is(err, errUploadShed):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "upload queue full")
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}

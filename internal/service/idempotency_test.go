@@ -1,0 +1,491 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mood/internal/core"
+	"mood/internal/trace"
+)
+
+func idemUpload(t *testing.T, hs *httptest.Server, user, key string, n int) (*http.Response, UploadResponse) {
+	t.Helper()
+	body, err := json.Marshal(UploadRequest{User: user, Records: sampleRecords(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/upload", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set(IdempotencyKeyHeader, key)
+	}
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ur UploadResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, ur
+}
+
+// TestIdempotencyReplaySync: a second sync upload with the same key must
+// not commit again — same response, one protector call, one commit.
+func TestIdempotencyReplaySync(t *testing.T) {
+	fp := &fakeProtector{}
+	srv, err := New(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	r1, u1 := idemUpload(t, hs, "alice", "chunk-2026-07-28", 30)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first upload: %d", r1.StatusCode)
+	}
+	if r1.Header.Get(IdempotencyReplayHeader) != "" {
+		t.Fatal("first upload flagged as replay")
+	}
+	r2, u2 := idemUpload(t, hs, "alice", "chunk-2026-07-28", 30)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("replay: %d", r2.StatusCode)
+	}
+	if r2.Header.Get(IdempotencyReplayHeader) != "true" {
+		t.Fatal("replay not flagged")
+	}
+	if u1.Accepted != u2.Accepted || u1.Rejected != u2.Rejected || u1.Pieces != u2.Pieces {
+		t.Fatalf("replay response differs: %+v vs %+v", u1, u2)
+	}
+	if fp.calls != 1 {
+		t.Fatalf("protector ran %d times, want 1", fp.calls)
+	}
+	st := srv.Stats()
+	if st.Uploads != 1 || st.RecordsIn != 30 {
+		t.Fatalf("replay committed again: %+v", st)
+	}
+	// A different key from the same user executes normally.
+	r3, _ := idemUpload(t, hs, "alice", "chunk-2026-07-29", 30)
+	if r3.StatusCode != http.StatusOK || r3.Header.Get(IdempotencyReplayHeader) != "" {
+		t.Fatalf("fresh key replayed: %d", r3.StatusCode)
+	}
+	if srv.Stats().Uploads != 2 {
+		t.Fatalf("uploads = %d, want 2", srv.Stats().Uploads)
+	}
+}
+
+// TestIdempotencyScopedPerUser: the same key from two users must not
+// collide.
+func TestIdempotencyScopedPerUser(t *testing.T) {
+	srv, hs := newTestServer(t)
+	if r, _ := idemUpload(t, hs, "alice", "day-1", 25); r.StatusCode != http.StatusOK {
+		t.Fatalf("alice: %d", r.StatusCode)
+	}
+	r, _ := idemUpload(t, hs, "bob", "day-1", 25)
+	if r.StatusCode != http.StatusOK || r.Header.Get(IdempotencyReplayHeader) != "" {
+		t.Fatalf("bob's first upload treated as replay (%d)", r.StatusCode)
+	}
+	if srv.Stats().Uploads != 2 {
+		t.Fatalf("uploads = %d, want 2", srv.Stats().Uploads)
+	}
+}
+
+// slowProtector blocks until released, so tests can park an upload
+// in-flight.
+type slowProtector struct {
+	release chan struct{}
+	mu      sync.Mutex
+	calls   int
+}
+
+func (p *slowProtector) Protect(tr trace.Trace) (core.Result, error) {
+	p.mu.Lock()
+	p.calls++
+	p.mu.Unlock()
+	<-p.release
+	return core.Result{
+		User:         tr.User,
+		TotalRecords: tr.Len(),
+		Pieces: []core.Piece{{
+			Trace:         tr.WithUser("anon-slow"),
+			Mechanism:     "slow",
+			SourceRecords: tr.Len(),
+		}},
+	}, nil
+}
+
+// TestIdempotencyRetryAfterTimeout is the ROADMAP scenario: the first
+// sync request is cancelled while its job is still running; the keyed
+// retry must wait for the original outcome and commit exactly once.
+func TestIdempotencyRetryAfterTimeout(t *testing.T) {
+	sp := &slowProtector{release: make(chan struct{})}
+	srv, err := New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	body, err := json.Marshal(UploadRequest{User: "carol", Records: sampleRecords(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/v1/upload", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(IdempotencyKeyHeader, "carol-day-1")
+	if _, err := hs.Client().Do(req); err == nil {
+		t.Fatal("expected the first request to fail on context timeout")
+	}
+
+	// Retry while the original is still in flight, releasing it shortly
+	// after: the retry must attach to the original, not enqueue again.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(sp.release)
+	}()
+	r2, u2 := idemUpload(t, hs, "carol", "carol-day-1", 20)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("retry: %d", r2.StatusCode)
+	}
+	if r2.Header.Get(IdempotencyReplayHeader) != "true" {
+		t.Fatal("retry not served as replay")
+	}
+	if u2.Accepted != 20 {
+		t.Fatalf("retry accepted %d, want 20", u2.Accepted)
+	}
+	if sp.calls != 1 {
+		t.Fatalf("protector ran %d times, want 1", sp.calls)
+	}
+	if st := srv.Stats(); st.Uploads != 1 || st.RecordsIn != 20 {
+		t.Fatalf("chunk committed twice: %+v", st)
+	}
+}
+
+// TestIdempotencyAsyncReplay: an async retry under the same key gets the
+// same job handle instead of a second job.
+func TestIdempotencyAsyncReplay(t *testing.T) {
+	srv, hs := newTestServer(t)
+	post := func() (int, JobStatus, string) {
+		body, _ := json.Marshal(UploadRequest{User: "dave", Records: sampleRecords(15)})
+		req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/upload?async=1", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(IdempotencyKeyHeader, "dave-day-1")
+		resp, err := hs.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var j JobStatus
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, j, resp.Header.Get(IdempotencyReplayHeader)
+	}
+	c1, j1, rep1 := post()
+	if c1 != http.StatusAccepted || rep1 != "" {
+		t.Fatalf("first async: %d replay=%q", c1, rep1)
+	}
+	c2, j2, rep2 := post()
+	if c2 != http.StatusAccepted || rep2 != "true" {
+		t.Fatalf("async replay: %d replay=%q", c2, rep2)
+	}
+	if j1.ID != j2.ID {
+		t.Fatalf("replay created a new job: %s vs %s", j1.ID, j2.ID)
+	}
+	// Wait for completion; the chunk must be committed once.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := srv.Stats(); st.Uploads == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never committed: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := srv.Stats(); st.Uploads != 1 || st.RecordsIn != 15 {
+		t.Fatalf("async replay committed twice: %+v", st)
+	}
+}
+
+// TestIdempotencyFailureReleasesKey: a failed upload must free its key
+// so a retry re-executes (the failure committed nothing).
+func TestIdempotencyFailureReleasesKey(t *testing.T) {
+	fp := &fakeProtector{}
+	srv, err := New(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	r1, _ := idemUpload(t, hs, "boom-eve", "eve-day-1", 10)
+	if r1.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("first upload: %d, want 500", r1.StatusCode)
+	}
+	r2, _ := idemUpload(t, hs, "boom-eve", "eve-day-1", 10)
+	if r2.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("retry: %d, want 500 from a fresh execution", r2.StatusCode)
+	}
+	if r2.Header.Get(IdempotencyReplayHeader) == "true" {
+		t.Fatal("failed upload replayed instead of re-executed")
+	}
+	if fp.calls != 2 {
+		t.Fatalf("protector ran %d times, want 2 (failure released the key)", fp.calls)
+	}
+}
+
+// TestIdempotencyKeyTooLong: oversized keys are rejected up front.
+func TestIdempotencyKeyTooLong(t *testing.T) {
+	_, hs := newTestServer(t)
+	long := make([]byte, maxIdempotencyKeyLen+1)
+	for i := range long {
+		long[i] = 'k'
+	}
+	r, _ := idemUpload(t, hs, "alice", string(long), 10)
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized key: %d, want 400", r.StatusCode)
+	}
+}
+
+// TestIdemStoreEviction: the dedupe window stays bounded and evicts
+// oldest-completed first.
+func TestIdemStoreEviction(t *testing.T) {
+	st := newIdemStore(4)
+	var first *idemEntry
+	for i := 0; i < 8; i++ {
+		user := fmt.Sprintf("u%d", i)
+		e, isNew := st.begin(user, "k", 0)
+		if !isNew {
+			t.Fatalf("entry %d not new", i)
+		}
+		if i == 0 {
+			first = e
+		}
+		st.complete(user, "k", e, UploadResponse{Accepted: i}, nil)
+	}
+	if len(st.entries) > 4 {
+		t.Fatalf("window grew to %d entries, cap 4", len(st.entries))
+	}
+	if _, ok := st.entries[idemKey("u0", "k")]; ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	// The evicted entry pointer still works for in-flight holders.
+	if resp, _, done := st.outcome(first); !done || resp.Accepted != 0 {
+		t.Fatal("evicted entry lost its outcome")
+	}
+	// A replay of an evicted key re-executes (dedupe forgotten, by design).
+	if _, isNew := st.begin("u0", "k", 0); !isNew {
+		t.Fatal("evicted key should be fresh again")
+	}
+}
+
+// TestIdemStorePendingNeverEvicted: pending entries must survive even a
+// tiny window, or a retry could re-execute an in-flight upload.
+func TestIdemStorePendingNeverEvicted(t *testing.T) {
+	st := newIdemStore(2)
+	for i := 0; i < 6; i++ {
+		if _, isNew := st.begin(fmt.Sprintf("u%d", i), "k", 0); !isNew {
+			t.Fatalf("entry %d not new", i)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, isNew := st.begin(fmt.Sprintf("u%d", i), "k", 0); isNew {
+			t.Fatalf("pending entry %d was evicted: a retry would double-commit", i)
+		}
+	}
+}
+
+// TestIdemStoreFailureCompactsOrder: repeated failures release their map
+// entries and must not leave the order slice growing without bound.
+func TestIdemStoreFailureCompactsOrder(t *testing.T) {
+	st := newIdemStore(64)
+	for i := 0; i < 10000; i++ {
+		user := fmt.Sprintf("u%d", i)
+		e, _ := st.begin(user, "k", 0)
+		st.complete(user, "k", e, UploadResponse{}, fmt.Errorf("boom"))
+	}
+	st.mu.Lock()
+	entries, order := len(st.entries), len(st.order)
+	st.mu.Unlock()
+	if entries != 0 {
+		t.Fatalf("failed entries retained: %d", entries)
+	}
+	if order > 2*64+16+1 {
+		t.Fatalf("order slice leaked to %d dead keys", order)
+	}
+}
+
+// TestIdempotencyShedAsyncJobStaysPollable: when a keyed async upload is
+// shed, the job handle a concurrent replay may have seen must resolve to
+// "failed", not 404, and the shed outcome must replay as 503.
+func TestIdempotencyShedAsyncJobStaysPollable(t *testing.T) {
+	gp := &gatedProtector{started: make(chan string, 8), gate: make(chan struct{})}
+	srv, err := New(gp, WithWorkers(1), WithQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL)
+
+	// Occupy the worker, then fill the queue.
+	go c.Upload(trace.New("occupant", sampleRecords(3))) //nolint:errcheck
+	select {
+	case <-gp.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("occupant never reached the protector")
+	}
+	if _, err := c.UploadAsync(trace.New("filler", sampleRecords(3))); err != nil {
+		t.Fatal(err)
+	}
+
+	// A keyed async upload is now shed; its job must be failed-pollable.
+	body, _ := json.Marshal(UploadRequest{User: "frank", Records: sampleRecords(3)})
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/upload?async=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(IdempotencyKeyHeader, "frank-day-1")
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed status = %d, want 503", resp.StatusCode)
+	}
+
+	// The job the (hypothetical) concurrent replay saw resolves "failed".
+	srv.jobs.mu.Lock()
+	var jid string
+	for id, j := range srv.jobs.jobs {
+		if j.User == "frank" {
+			jid = id
+		}
+	}
+	srv.jobs.mu.Unlock()
+	if jid == "" {
+		t.Fatal("shed keyed job was removed; a replayed 202 would 404")
+	}
+	j, ok := srv.jobs.get(jid)
+	if !ok || j.State != JobFailed {
+		t.Fatalf("shed keyed job state = %+v, want failed", j)
+	}
+
+	// The shed outcome replays as 503 (retryable), not 500 — and after
+	// releasing the gate the key is free so the retry truly executes.
+	r2, err := hs.Client().Do(func() *http.Request {
+		rq, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/upload?async=1", bytes.NewReader(body))
+		rq.Header.Set(IdempotencyKeyHeader, "frank-day-1")
+		return rq
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode == http.StatusInternalServerError {
+		t.Fatal("shed outcome replayed as 500; retrying clients treat that as fatal")
+	}
+	close(gp.gate)
+}
+
+// TestIdempotencyPayloadMismatch: reusing a key with a different body is
+// a client bug and must be rejected, not silently answered with the
+// first body's result.
+func TestIdempotencyPayloadMismatch(t *testing.T) {
+	srv, hs := newTestServer(t)
+	if r, _ := idemUpload(t, hs, "gina", "day-1", 20); r.StatusCode != http.StatusOK {
+		t.Fatalf("first upload: %d", r.StatusCode)
+	}
+	// Same key, different records (different count → different payload).
+	r2, _ := idemUpload(t, hs, "gina", "day-1", 21)
+	if r2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("mismatched payload reuse: %d, want 422", r2.StatusCode)
+	}
+	if st := srv.Stats(); st.Uploads != 1 || st.RecordsIn != 20 {
+		t.Fatalf("mismatched payload affected state: %+v", st)
+	}
+	// The identical payload still replays fine afterwards.
+	r3, _ := idemUpload(t, hs, "gina", "day-1", 20)
+	if r3.StatusCode != http.StatusOK || r3.Header.Get(IdempotencyReplayHeader) != "true" {
+		t.Fatalf("replay after mismatch: %d", r3.StatusCode)
+	}
+}
+
+// TestIdempotencyAsyncReplayAfterJobEviction: an async replay whose job
+// handle was evicted from the job store must still get a JobStatus (the
+// async contract), rebuilt from the entry's outcome.
+func TestIdempotencyAsyncReplayAfterJobEviction(t *testing.T) {
+	srv, hs := newTestServer(t)
+	post := func() (int, JobStatus) {
+		body, _ := json.Marshal(UploadRequest{User: "hank", Records: sampleRecords(12)})
+		req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/upload?async=1", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(IdempotencyKeyHeader, "hank-day-1")
+		resp, err := hs.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var j JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, j
+	}
+	c1, j1 := post()
+	if c1 != http.StatusAccepted {
+		t.Fatalf("first async: %d", c1)
+	}
+	// Wait for completion, then evict the job handle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, ok := srv.jobs.get(j1.ID); ok && j.State == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.jobs.remove(j1.ID)
+
+	c2, j2 := post()
+	if c2 != http.StatusOK {
+		t.Fatalf("post-eviction async replay: %d, want 200", c2)
+	}
+	if j2.ID != j1.ID || j2.State != JobDone || j2.Result == nil || j2.Result.Accepted != 12 {
+		t.Fatalf("rebuilt JobStatus wrong: %+v", j2)
+	}
+	if st := srv.Stats(); st.Uploads != 1 {
+		t.Fatalf("replay committed again: %+v", st)
+	}
+}

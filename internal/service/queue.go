@@ -53,6 +53,10 @@ type uploadJob struct {
 	done chan uploadOutcome
 	// id is the job-store key for asynchronous uploads. "" for sync.
 	id string
+	// idem, when non-nil, is the idempotency entry to complete with the
+	// outcome so retries under idemKey replay instead of re-committing.
+	idem    *idemEntry
+	idemKey string
 }
 
 // workerPool runs uploads on a fixed set of goroutines fed by a bounded
@@ -269,6 +273,9 @@ func (s *Server) runJob(j *uploadJob) {
 		s.jobs.setRunning(j.id)
 	}
 	resp, err := s.protectAndCommit(j.trace)
+	if j.idem != nil {
+		s.idem.complete(j.trace.User, j.idemKey, j.idem, resp, err)
+	}
 	switch {
 	case j.done != nil:
 		j.done <- uploadOutcome{resp: resp, err: err}

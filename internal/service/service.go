@@ -8,6 +8,10 @@
 //
 //	POST /v1/upload            {"user": ..., "records": [...]}
 //	                           -> UploadResponse
+//	                           X-Mood-Idempotency-Key makes retries safe:
+//	                           a key that was already accepted replays the
+//	                           original outcome instead of committing the
+//	                           chunk again (see idempotency.go)
 //	POST /v1/upload?async=1    -> 202 + JobStatus (poll /v1/jobs/{id})
 //	GET  /v1/jobs/{id}         asynchronous upload status
 //	GET  /v1/dataset           protected dataset (JSON)
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +71,9 @@ type Options struct {
 	// AuthToken, when non-empty, requires bearer-token auth in the
 	// chain (the historical WithAuth wrapper remains available).
 	AuthToken string
+	// IdempotencyWindow caps the upload dedupe window (entries tracked
+	// for X-Mood-Idempotency-Key replays). Default 4096.
+	IdempotencyWindow int
 }
 
 // Option mutates Options.
@@ -90,6 +98,9 @@ func WithRequestTimeout(d time.Duration) Option {
 // WithAuthToken requires the bearer token on every API call.
 func WithAuthToken(token string) Option { return func(o *Options) { o.AuthToken = token } }
 
+// WithIdempotencyWindow caps the upload dedupe window.
+func WithIdempotencyWindow(n int) Option { return func(o *Options) { o.IdempotencyWindow = n } }
+
 // DefaultRequestTimeout is what a zero Options.RequestTimeout means;
 // exported so operators sizing http.Server write timeouts around the
 // handler timeout can mirror the resolution.
@@ -108,6 +119,9 @@ func (o *Options) fill() {
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = DefaultRequestTimeout
 	}
+	if o.IdempotencyWindow <= 0 {
+		o.IdempotencyWindow = DefaultIdempotencyWindow
+	}
 }
 
 // Server implements the crowd-sensing middleware. Create with New and
@@ -122,6 +136,7 @@ type Server struct {
 
 	pool    *workerPool
 	jobs    *jobStore
+	idem    *idemStore
 	metrics *requestMetrics
 
 	saveMu sync.Mutex // serialises SaveState snapshots
@@ -190,6 +205,7 @@ func New(p Protector, opts ...Option) (*Server, error) {
 		protector: p,
 		opts:      o,
 		jobs:      newJobStore(),
+		idem:      newIdemStore(o.IdempotencyWindow),
 		metrics:   newRequestMetrics(),
 	}
 	for i := range s.shards {
@@ -271,11 +287,38 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if isAsync(r) {
-		s.dispatchAsync(w, t)
+	key := r.Header.Get(IdempotencyKeyHeader)
+	if len(key) > maxIdempotencyKeyLen {
+		httpError(w, http.StatusBadRequest, IdempotencyKeyHeader+" exceeds "+
+			strconv.Itoa(maxIdempotencyKeyLen)+" bytes")
 		return
 	}
-	s.dispatchSync(w, r, t)
+	var idem *idemEntry
+	if key != "" {
+		fp := uploadFingerprint(t)
+		e, isNew := s.idem.begin(t.User, key, fp)
+		if !isNew {
+			if e.fp != fp {
+				// Key reuse with a different body is a client bug; answering
+				// with the first body's result would silently drop this
+				// upload behind a 200.
+				httpError(w, http.StatusUnprocessableEntity,
+					IdempotencyKeyHeader+" was already used with a different payload")
+				return
+			}
+			// Retry of an upload already accepted under this key: replay
+			// the original outcome instead of committing twice.
+			s.replayUpload(w, r, t.User, e)
+			return
+		}
+		idem = e
+	}
+
+	if isAsync(r) {
+		s.dispatchAsync(w, t, key, idem)
+		return
+	}
+	s.dispatchSync(w, r, t, key, idem)
 }
 
 func isAsync(r *http.Request) bool {
@@ -288,9 +331,13 @@ func isAsync(r *http.Request) bool {
 
 // dispatchSync runs the upload through the worker pool and waits for
 // the outcome, preserving the historical synchronous semantics.
-func (s *Server) dispatchSync(w http.ResponseWriter, r *http.Request, t trace.Trace) {
-	j := &uploadJob{trace: t, done: make(chan uploadOutcome, 1)}
+func (s *Server) dispatchSync(w http.ResponseWriter, r *http.Request, t trace.Trace, key string, idem *idemEntry) {
+	j := &uploadJob{trace: t, done: make(chan uploadOutcome, 1), idemKey: key, idem: idem}
 	if !s.pool.tryEnqueue(j) {
+		if idem != nil {
+			// The job never ran: release the key so the retry executes.
+			s.idem.complete(t.User, key, idem, UploadResponse{}, errUploadShed)
+		}
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "upload queue full")
 		return
@@ -304,11 +351,11 @@ func (s *Server) dispatchSync(w http.ResponseWriter, r *http.Request, t trace.Tr
 		writeJSON(w, http.StatusOK, out.resp)
 	case <-r.Context().Done():
 		// The client gave up (or the timeout layer fired); the job still
-		// runs to completion in the pool and its records are kept. This
-		// keeps the seed handler's at-least-once semantics (it, too,
-		// committed after a client disconnect): a client that retries
-		// after this 503 may publish the same chunk twice. True
-		// exactly-once needs idempotency keys — see ROADMAP.
+		// runs to completion in the pool and its records are kept
+		// (at-least-once, as in the seed handler). A client that retries
+		// this 503 bare may publish the same chunk twice; retries
+		// carrying an X-Mood-Idempotency-Key replay the original result
+		// instead (see idempotency.go).
 		httpError(w, http.StatusServiceUnavailable, "request cancelled before protection finished")
 	case <-s.pool.drained:
 		// Server shut down mid-wait; the drain pass may have completed
@@ -327,10 +374,23 @@ func (s *Server) dispatchSync(w http.ResponseWriter, r *http.Request, t trace.Tr
 }
 
 // dispatchAsync queues the upload and answers 202 with the job handle.
-func (s *Server) dispatchAsync(w http.ResponseWriter, t trace.Trace) {
+func (s *Server) dispatchAsync(w http.ResponseWriter, t trace.Trace, key string, idem *idemEntry) {
 	j := s.jobs.create(t.User)
-	if !s.pool.tryEnqueue(&uploadJob{trace: t, id: j.ID}) {
-		s.jobs.remove(j.ID)
+	if idem != nil {
+		// Registered before enqueue so replays can poll the same job.
+		s.idem.setJob(idem, j.ID)
+	}
+	if !s.pool.tryEnqueue(&uploadJob{trace: t, id: j.ID, idemKey: key, idem: idem}) {
+		if idem != nil {
+			// A concurrent replay may already have been answered 202 with
+			// this job ID (setJob races with the shed), so the handle must
+			// stay pollable: mark it failed rather than removing it, and
+			// release the key so the retry re-executes.
+			s.jobs.setFailed(j.ID, errUploadShed)
+			s.idem.complete(t.User, key, idem, UploadResponse{}, errUploadShed)
+		} else {
+			s.jobs.remove(j.ID)
+		}
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "upload queue full")
 		return
