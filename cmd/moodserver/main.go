@@ -8,10 +8,20 @@
 //	           [-token T] [-state snapshot.json]
 //	           [-rate 0] [-burst 10] [-queue 64] [-workers 0]
 //	           [-request-timeout 2m]
+//	           [-retrain-interval 0] [-history-cap 50000]
 //
 // The background CSV plays the attacker-side knowledge H: it trains the
 // re-identification attacks the middleware defends against and feeds
 // HMC's pool of imitation targets.
+//
+// Dynamic protection (paper §6): the server accumulates every accepted
+// upload's raw records as the history a real adversary would have
+// collected. -retrain-interval > 0 periodically retrains the attack set
+// and HMC background on initial-background + history, hot-swaps the
+// engine without upload downtime, and re-audits the published dataset,
+// quarantining fragments the refreshed attacks re-identify. The same
+// pass can be triggered on demand with POST /v1/admin/retrain (always
+// available, behind -token when set).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests finish, the upload queue drains, and a final state snapshot
@@ -60,6 +70,8 @@ func runCtx(ctx context.Context, args []string) error {
 	queue := fs.Int("queue", 64, "upload queue depth (full queue answers 503)")
 	workers := fs.Int("workers", 0, "upload worker-pool size (0 = GOMAXPROCS)")
 	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request timeout (negative disables)")
+	retrainInterval := fs.Duration("retrain-interval", 0, "periodic attack retraining + re-audit (0 = only on POST /v1/admin/retrain)")
+	historyCap := fs.Int("history-cap", 0, "per-user raw history the retrainer learns from, in records (0 = default 50000, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +100,8 @@ func runCtx(ctx context.Context, args []string) error {
 		service.WithWorkers(*workers),
 		service.WithRequestTimeout(*reqTimeout),
 		service.WithAuthToken(*token),
+		service.WithRetrainer(&pipelineRetrainer{base: pipeline, initial: bg.Traces}, *retrainInterval),
+		service.WithHistoryCap(*historyCap),
 	)
 	if err != nil {
 		return err
@@ -193,4 +207,25 @@ type pipelineProtector struct {
 
 func (pp pipelineProtector) Protect(t mood.Trace) (mood.Result, error) {
 	return pp.p.Protect(t)
+}
+
+// pipelineRetrainer rebuilds the pipeline for the service's dynamic
+// protection: the retrained background is the initial CSV background —
+// the H the attacks started from — merged per user with everything the
+// participants have uploaded since (the history the service hands over).
+type pipelineRetrainer struct {
+	base    *mood.Pipeline
+	initial []mood.Trace
+}
+
+func (rt *pipelineRetrainer) Retrain(history []mood.Trace) (service.Protector, service.Auditor, error) {
+	merged := make([]mood.Trace, 0, len(rt.initial)+len(history))
+	merged = append(merged, rt.initial...)
+	merged = append(merged, history...)
+	bg := mood.NewDataset("background", merged)
+	p, err := rt.base.Retrain(bg.Traces)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pipelineProtector{p}, p, nil
 }

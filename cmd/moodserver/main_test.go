@@ -140,3 +140,85 @@ func TestGracefulShutdownFlushesState(t *testing.T) {
 		t.Fatalf("snapshot lost the upload: %+v", state.Stats)
 	}
 }
+
+// TestAdminRetrainEndToEnd drives the dynamic-protection wiring through
+// the real binary: upload raw chunks, trigger POST /v1/admin/retrain,
+// and check the server rebuilt its attacks on background + history,
+// re-audited the published dataset, and kept serving uploads.
+func TestAdminRetrainEndToEnd(t *testing.T) {
+	cfg := synth.PrivamovLike(synth.ScaleTiny, 35)
+	cfg.NumUsers = 4
+	cfg.Days = 4
+	d := synth.MustGenerate(cfg)
+	bg := filepath.Join(t.TempDir(), "bg.csv")
+	if err := traceio.SaveCSVFile(bg, d); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runCtx(ctx, []string{"-background", bg, "-addr", addr, "-history-cap", "1000"})
+	}()
+
+	c := service.NewClient("http://" + addr)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.Stats(); err == nil {
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("server exited early: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	chunk := d.Traces[0].Chunks(24 * time.Hour)[0]
+	if _, err := c.Upload(chunk); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := c.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.HistoryUsers != 1 || report.HistoryRecords != chunk.Len() {
+		t.Fatalf("retrain trained on %d users / %d records, want 1/%d",
+			report.HistoryUsers, report.HistoryRecords, chunk.Len())
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retrains != 1 {
+		t.Fatalf("stats after retrain: %+v", st)
+	}
+
+	// The swapped engine keeps serving.
+	if _, err := c.Upload(d.Traces[1].Chunks(24 * time.Hour)[0]); err != nil {
+		t.Fatalf("upload after retrain: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

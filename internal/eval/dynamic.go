@@ -50,8 +50,74 @@ type RoundResult struct {
 	DataLoss float64
 }
 
-// RunDynamic executes the rounds and returns their outcomes.
-func RunDynamic(cfg DynamicConfig) ([]RoundResult, error) {
+// NewOracle trains a fresh default attack set (AP + POI + PIT) on the
+// given background. This is the oracle attacker of the dynamic
+// experiment — and the retrained verifier, which by construction is the
+// same thing trained on the same history. Shared with the service tier's
+// online retraining subsystem so the offline experiment and the running
+// server agree on what "retrained attacks" means.
+func NewOracle(background []trace.Trace) (attack.Set, error) {
+	set := attack.Set{attack.NewAP(), attack.NewPOIAttack(), attack.NewPIT()}
+	if err := attack.TrainAll(set, background); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Round is one publication window of the dynamic experiment.
+type Round struct {
+	// Index is the 1-based window number within the original time span;
+	// gaps appear where no user was active (those windows are dropped).
+	Index int
+	// Data is the raw traces published in the window.
+	Data trace.Dataset
+}
+
+// SplitRounds cuts the dataset's time span into n contiguous publication
+// windows (the last window absorbs the remainder). Windows where no user
+// is active are dropped, so fewer than n rounds may come back; Index
+// keeps each round's original window number.
+func SplitRounds(d trace.Dataset, n int) ([]Round, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("eval: dynamic: %d rounds", n)
+	}
+	start, end := d.TimeSpan()
+	roundLen := (end - start + 1) / int64(n)
+	if roundLen <= 0 {
+		return nil, fmt.Errorf("eval: dynamic: test period too short for %d rounds", n)
+	}
+	var out []Round
+	for round := 1; round <= n; round++ {
+		lo := start + int64(round-1)*roundLen
+		hi := lo + roundLen
+		if round == n {
+			hi = end + 1
+		}
+		slice := d.Window(lo, hi)
+		if slice.NumUsers() == 0 {
+			continue
+		}
+		out = append(out, Round{Index: round, Data: slice})
+	}
+	return out, nil
+}
+
+// AccumulateBackground folds one round's raw data into the attacker-side
+// history (merged per user): after a round is published, the adversary
+// is assumed to have collected the round's raw traces too.
+func AccumulateBackground(bg []trace.Trace, slice trace.Dataset) []trace.Trace {
+	merged := make([]trace.Trace, 0, len(bg)+slice.NumUsers())
+	merged = append(merged, bg...)
+	merged = append(merged, slice.Traces...)
+	return trace.NewDataset("bg", merged).Traces
+}
+
+// DynamicScenario generates the drifted synthetic dataset of the dynamic
+// experiment and carves it into the initial background knowledge and the
+// publication rounds. Both RunDynamic and the service-tier tests build
+// on it, so offline and online dynamic protection are exercised on
+// identical data.
+func DynamicScenario(cfg DynamicConfig) (initialBG trace.Dataset, rounds []Round, err error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = synth.ScaleTiny
 	}
@@ -64,7 +130,7 @@ func RunDynamic(cfg DynamicConfig) ([]RoundResult, error) {
 
 	synthCfg, err := synth.PresetByName(cfg.Dataset, cfg.Scale, cfg.Seed)
 	if err != nil {
-		return nil, err
+		return trace.Dataset{}, nil, err
 	}
 	// Force heavy mid-period drift: that is the behaviour evolution the
 	// extension is about. The drift lands exactly at the train/test
@@ -72,42 +138,41 @@ func RunDynamic(cfg DynamicConfig) ([]RoundResult, error) {
 	synthCfg.DriftFraction = 0.6
 	full, err := synth.Generate(synthCfg)
 	if err != nil {
-		return nil, err
+		return trace.Dataset{}, nil, err
 	}
 	initialBG, test := full.SplitTrainTest(0.5, 20)
 	if test.NumUsers() < 2 {
-		return nil, fmt.Errorf("eval: dynamic: only %d active users", test.NumUsers())
+		return trace.Dataset{}, nil, fmt.Errorf("eval: dynamic: only %d active users", test.NumUsers())
 	}
+	rounds, err = SplitRounds(test, cfg.Rounds)
+	if err != nil {
+		return trace.Dataset{}, nil, err
+	}
+	return initialBG, rounds, nil
+}
 
-	start, end := test.TimeSpan()
-	roundLen := (end - start + 1) / int64(cfg.Rounds)
-	if roundLen <= 0 {
-		return nil, fmt.Errorf("eval: dynamic: test period too short for %d rounds", cfg.Rounds)
+// RunDynamic executes the rounds and returns their outcomes.
+func RunDynamic(cfg DynamicConfig) ([]RoundResult, error) {
+	initialBG, rounds, err := DynamicScenario(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	// Static verifier: trained once on the initial background.
-	staticAtks := attack.Set{attack.NewAP(), attack.NewPOIAttack(), attack.NewPIT()}
-	if err := attack.TrainAll(staticAtks, initialBG.Traces); err != nil {
+	staticAtks, err := NewOracle(initialBG.Traces)
+	if err != nil {
 		return nil, err
 	}
 
 	attackerBG := initialBG.Traces
 	var out []RoundResult
-	for round := 1; round <= cfg.Rounds; round++ {
-		lo := start + int64(round-1)*roundLen
-		hi := lo + roundLen
-		if round == cfg.Rounds {
-			hi = end + 1
-		}
-		slice := test.Window(lo, hi)
-		if slice.NumUsers() == 0 {
-			continue
-		}
+	for _, r := range rounds {
+		slice := r.Data
 
 		// Oracle attacker: always up to date with the raw history an
 		// adversary could have accumulated before this round.
-		oracle := attack.Set{attack.NewAP(), attack.NewPOIAttack(), attack.NewPIT()}
-		if err := attack.TrainAll(oracle, attackerBG); err != nil {
+		oracle, err := NewOracle(attackerBG)
+		if err != nil {
 			return nil, err
 		}
 
@@ -124,14 +189,14 @@ func RunDynamic(cfg DynamicConfig) ([]RoundResult, error) {
 		engine := &core.Engine{
 			LPPMs:   []lppm.Mechanism{hmc, lppm.NewGeoI(), lppm.NewTRL()},
 			Attacks: verifier,
-			Seed:    cfg.Seed + uint64(round),
+			Seed:    cfg.Seed + uint64(r.Index),
 		}
 		results, err := engine.ProtectDataset(slice)
 		if err != nil {
 			return nil, err
 		}
 
-		rr := RoundResult{Round: round, Users: slice.NumUsers(), DataLoss: core.DataLoss(results)}
+		rr := RoundResult{Round: r.Index, Users: slice.NumUsers(), DataLoss: core.DataLoss(results)}
 		for _, r := range results {
 			for _, p := range r.Pieces {
 				rr.Pieces++
@@ -144,10 +209,7 @@ func RunDynamic(cfg DynamicConfig) ([]RoundResult, error) {
 
 		// The adversary keeps collecting: this round's raw data joins
 		// the background for the next round (merged per user).
-		merged := make([]trace.Trace, 0, len(attackerBG)+slice.NumUsers())
-		merged = append(merged, attackerBG...)
-		merged = append(merged, slice.Traces...)
-		attackerBG = trace.NewDataset("bg", merged).Traces
+		attackerBG = AccumulateBackground(attackerBG, slice)
 	}
 	return out, nil
 }

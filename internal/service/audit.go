@@ -1,0 +1,140 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The re-audit pass: after a retrain swaps fresh attacks in, every
+// fragment already published is re-checked against them. A fragment the
+// retrained attacks link back to its uploader has silently become
+// re-identifiable — exactly the §6 failure mode the offline RunDynamic
+// experiment measures as "leaks" — and is quarantined: removed from the
+// published dataset and counted in the global and per-user stats.
+//
+// Locking: identification is CPU-heavy (three attacks per fragment), so
+// the pass snapshots each shard's fragments under the lock, evaluates
+// them unlocked while uploads keep committing, then re-locks to remove
+// the condemned fragments by their Seq handle. An upload that loaded
+// the pre-swap engine and commits after this pass snapshotted its shard
+// is caught by the commit path itself: protectAndCommit notices the
+// epoch changed under it and re-audits its own fragments against the
+// current auditor. Removal by seq is idempotent, so the two paths can
+// overlap freely; Retrain serialises full passes against each other.
+
+// auditPublished re-checks every published fragment with a known owner
+// and quarantines the vulnerable ones. It returns how many fragments
+// were audited and how many were pulled.
+func (s *Server) auditPublished(a Auditor) (audited, quarantined int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		frags := make([]publishedFrag, len(sh.published))
+		copy(frags, sh.published)
+		sh.mu.Unlock()
+		aud, quar := s.auditFrags(sh, a, frags)
+		audited += aud
+		quarantined += quar
+	}
+	return audited, quarantined
+}
+
+// auditShardFrags re-audits specific fragments (by seq) of one shard —
+// the commit path uses it for fragments that raced an engine swap.
+// Fragments already removed by a concurrent pass are skipped.
+func (s *Server) auditShardFrags(sh *stateShard, a Auditor, seqs []int64) (audited, quarantined int) {
+	want := make(map[int64]bool, len(seqs))
+	for _, q := range seqs {
+		want[q] = true
+	}
+	sh.mu.Lock()
+	var frags []publishedFrag
+	for _, f := range sh.published {
+		if want[f.Seq] {
+			frags = append(frags, f)
+		}
+	}
+	sh.mu.Unlock()
+	return s.auditFrags(sh, a, frags)
+}
+
+// auditFrags evaluates the given fragments of one shard outside the
+// lock, then removes the condemned ones and updates the quarantine
+// accounting. Fragments without an owner (legacy snapshots) cannot be
+// judged and are left alone. Evaluation is the expensive part (three
+// attacks per fragment) and each fragment is independent, so it fans
+// out across cores — the same shape as core's parallel protectEach.
+func (s *Server) auditFrags(sh *stateShard, a Auditor, frags []publishedFrag) (audited, quarantined int) {
+	todo := frags[:0:0]
+	for _, f := range frags {
+		if f.Owner != "" {
+			todo = append(todo, f)
+		}
+	}
+	audited = len(todo)
+	if audited == 0 {
+		return 0, 0
+	}
+
+	condemned := make(map[int64]bool)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(todo) {
+					return
+				}
+				f := todo[i]
+				// The published label is a pseudonym; the attacks judge
+				// the anonymous trace, as in eval.RunDynamic's oracle.
+				if hit, _ := a.ReIdentifies(f.Trace.WithUser(""), f.Owner); hit {
+					mu.Lock()
+					condemned[f.Seq] = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(condemned) == 0 {
+		return audited, 0
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	kept := sh.published[:0]
+	for _, f := range sh.published {
+		if !condemned[f.Seq] {
+			kept = append(kept, f)
+			continue
+		}
+		quarantined++
+		sh.stats.QuarantinedTraces++
+		sh.stats.RecordsQuarantined += f.Trace.Len()
+		// The owner's accounting lives in the same shard as the
+		// fragment (both keyed by the uploader ID).
+		if us, ok := sh.users[f.Owner]; ok {
+			us.PiecesQuarantined++
+			us.RecordsQuarantined += f.Trace.Len()
+		}
+	}
+	// Zero the tail so quarantined fragment traces are not pinned by
+	// the backing array.
+	for j := len(kept); j < len(sh.published); j++ {
+		sh.published[j] = publishedFrag{}
+	}
+	sh.published = kept
+	return audited, quarantined
+}

@@ -143,6 +143,25 @@ func (c *Client) WaitJob(id string, timeout time.Duration) (JobStatus, error) {
 	}
 }
 
+// Retrain triggers a retrain + re-audit pass (POST /v1/admin/retrain)
+// and returns what it did. The server answers 404 when no retrainer is
+// configured.
+func (c *Client) Retrain() (RetrainReport, error) {
+	resp, err := c.do(http.MethodPost, c.BaseURL+"/v1/admin/retrain", nil)
+	if err != nil {
+		return RetrainReport{}, fmt.Errorf("service: retrain: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return RetrainReport{}, decodeError(resp)
+	}
+	var out RetrainReport
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return RetrainReport{}, fmt.Errorf("service: decoding retrain report: %w", err)
+	}
+	return out, nil
+}
+
 // Metrics fetches the server's request metrics.
 func (c *Client) Metrics() (MetricsSnapshot, error) {
 	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/metrics", nil)

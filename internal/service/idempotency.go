@@ -173,11 +173,64 @@ func (st *idemStore) compactLocked() {
 	st.order = kept
 }
 
-// outcome snapshots a completed entry's result without blocking.
-func (st *idemStore) outcome(e *idemEntry) (UploadResponse, error, bool) {
+// persistedIdem is the on-disk form of one completed idempotency entry.
+// Only successful completions are persisted: failures release their key
+// at completion time (nothing was committed, the retry must execute),
+// and pending entries cannot exist at snapshot time on the shutdown
+// path (SaveState runs after the pool drained) — a mid-flight periodic
+// snapshot simply does not cover them, which restores the pre-upload
+// state for those keys.
+type persistedIdem struct {
+	// Key is the user-scoped store key (user + NUL + client key).
+	Key   string         `json:"key"`
+	FP    uint64         `json:"fp"`
+	JobID string         `json:"job_id,omitempty"`
+	Resp  UploadResponse `json:"resp"`
+}
+
+// snapshot exports the completed successful entries in eviction order.
+func (st *idemStore) snapshot() []persistedIdem {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return e.resp, e.err, e.completed
+	out := make([]persistedIdem, 0, len(st.entries))
+	seen := make(map[string]bool, len(st.entries))
+	for _, k := range st.order {
+		e, ok := st.entries[k]
+		if !ok || seen[k] || !e.completed || e.err != nil {
+			continue
+		}
+		seen[k] = true
+		out = append(out, persistedIdem{Key: k, FP: e.fp, JobID: e.jobID, Resp: e.resp})
+	}
+	return out
+}
+
+// restore replaces the window with persisted entries (all completed, so
+// a keyed retry that straddles the restart replays instead of
+// double-committing the chunk).
+func (st *idemStore) restore(entries []persistedIdem) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.entries = make(map[string]*idemEntry, len(entries))
+	st.order = st.order[:0]
+	for _, pe := range entries {
+		if _, dup := st.entries[pe.Key]; dup {
+			continue
+		}
+		e := &idemEntry{fp: pe.FP, jobID: pe.JobID, done: make(chan struct{}),
+			resp: pe.Resp, completed: true}
+		close(e.done)
+		st.entries[pe.Key] = e
+		st.order = append(st.order, pe.Key)
+	}
+	st.evictLocked()
+}
+
+// outcome snapshots a completed entry's result without blocking.
+func (st *idemStore) outcome(e *idemEntry) (resp UploadResponse, completed bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return e.resp, e.completed, e.err
 }
 
 // evictLocked drops the oldest *completed* entries above the capacity.
@@ -212,7 +265,7 @@ func (st *idemStore) evictLocked() {
 // sync originals with the original response, waiting for it when the
 // original is still in flight (the retry-after-timeout case the
 // idempotency window exists for).
-func (s *Server) replayUpload(w http.ResponseWriter, r *http.Request, user string, e *idemEntry) {
+func (s *Server) replayUpload(w http.ResponseWriter, r *http.Request, user string, e *idemEntry, async bool) {
 	w.Header().Set(IdempotencyReplayHeader, "true")
 	if jid := s.idem.jobOf(e); jid != "" {
 		if j, ok := s.jobs.get(jid); ok {
@@ -223,8 +276,8 @@ func (s *Server) replayUpload(w http.ResponseWriter, r *http.Request, user strin
 		// entry before the job is marked finished (and only finished jobs
 		// are evicted), so the entry's outcome is final here; an async
 		// caller still expects the JobStatus shape, so rebuild it.
-		if isAsync(r) {
-			if resp, err, ok := s.idem.outcome(e); ok {
+		if async {
+			if resp, ok, err := s.idem.outcome(e); ok {
 				j := JobStatus{ID: jid, User: user, State: JobDone, Result: &resp}
 				if err != nil {
 					j = JobStatus{ID: jid, User: user, State: JobFailed, Error: err.Error()}
@@ -236,10 +289,10 @@ func (s *Server) replayUpload(w http.ResponseWriter, r *http.Request, user strin
 		// Sync caller (or an impossible incomplete entry): fall through
 		// to the waiting path, which serves the entry outcome.
 	}
-	if isAsync(r) {
+	if async {
 		// An async caller must not block on a sync original; answer from
 		// the entry if it is done, shed otherwise.
-		if resp, err, ok := s.idem.outcome(e); ok {
+		if resp, ok, err := s.idem.outcome(e); ok {
 			writeReplayOutcome(w, resp, err)
 			return
 		}
@@ -255,7 +308,7 @@ func (s *Server) replayUpload(w http.ResponseWriter, r *http.Request, user strin
 		// key stays registered, so the next retry replays again.
 		httpError(w, http.StatusServiceUnavailable, "request cancelled before protection finished")
 	case <-s.pool.drained:
-		if resp, err, ok := s.idem.outcome(e); ok {
+		if resp, ok, err := s.idem.outcome(e); ok {
 			writeReplayOutcome(w, resp, err)
 			return
 		}

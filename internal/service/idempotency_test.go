@@ -295,7 +295,7 @@ func TestIdemStoreEviction(t *testing.T) {
 		t.Fatal("oldest entry survived eviction")
 	}
 	// The evicted entry pointer still works for in-flight holders.
-	if resp, _, done := st.outcome(first); !done || resp.Accepted != 0 {
+	if resp, done, _ := st.outcome(first); !done || resp.Accepted != 0 {
 		t.Fatal("evicted entry lost its outcome")
 	}
 	// A replay of an evicted key re-executes (dedupe forgotten, by design).

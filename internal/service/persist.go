@@ -9,14 +9,34 @@ import (
 	"mood/internal/trace"
 )
 
-// persistedState is the on-disk snapshot of a Server. The format
-// predates the sharded state and is kept stable: shards are merged on
-// save and redistributed on load.
+// persistedFrag is the on-disk form of one published fragment. Owner is
+// the true uploader — required to re-audit the fragment after a retrain
+// (the protection predicate asks whether the attacks link the fragment
+// back to its real user). It never leaves the snapshot file.
+type persistedFrag struct {
+	Trace trace.Trace `json:"trace"`
+	Owner string      `json:"owner"`
+}
+
+// persistedState is the on-disk snapshot of a Server. Shards are merged
+// on save and redistributed on load. Decoding stays backward compatible:
+// snapshots written before the dynamic-protection subsystem carry
+// `published` (bare traces, no owners) instead of `fragments`, and no
+// history or idempotency sections.
 type persistedState struct {
-	Published []trace.Trace         `json:"published"`
-	Users     map[string]*UserStats `json:"users"`
-	Stats     ServerStats           `json:"stats"`
-	Pseudo    int                   `json:"pseudo"`
+	// Published is the legacy fragment list (read-only; written by
+	// snapshots predating owner tracking).
+	Published []trace.Trace             `json:"published,omitempty"`
+	Fragments []persistedFrag           `json:"fragments,omitempty"`
+	Users     map[string]*UserStats     `json:"users"`
+	Stats     ServerStats               `json:"stats"`
+	Pseudo    int                       `json:"pseudo"`
+	History   map[string][]trace.Record `json:"history,omitempty"`
+	// Idempotency carries the completed dedupe entries so a keyed retry
+	// that straddles a restart replays the original outcome instead of
+	// committing the chunk twice.
+	Idempotency []persistedIdem `json:"idempotency,omitempty"`
+	Retrains    int64           `json:"retrains,omitempty"`
 }
 
 // SaveState writes the server's published dataset and accounting to
@@ -27,12 +47,30 @@ type persistedState struct {
 func (s *Server) SaveState(path string) error {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
-	published, users, stats := s.fullSnapshot()
+	// The idempotency table is captured *before* the shard snapshot: an
+	// upload completes its entry only after committing to its shard, so
+	// every entry in the earlier capture has its records in the later
+	// one. The opposite order could persist an entry whose commit the
+	// shard snapshot missed — after a restore, the client's retry would
+	// replay a 200 for records that are in neither the dataset nor the
+	// accounting (silent loss behind an OK). This order's only tear is
+	// a commit without its entry, which makes the retry re-execute: a
+	// possible duplicate, which is the pipeline's documented
+	// at-least-once behaviour for unkeyed retries anyway.
+	idem := s.idem.snapshot()
+	published, history, users, stats := s.fullSnapshot()
+	frags := make([]persistedFrag, len(published))
+	for i, f := range published {
+		frags[i] = persistedFrag{Trace: f.Trace, Owner: f.Owner}
+	}
 	state := persistedState{
-		Published: published,
-		Users:     users,
-		Stats:     stats,
-		Pseudo:    int(s.pseudo.Load()),
+		Fragments:   frags,
+		Users:       users,
+		Stats:       stats,
+		Pseudo:      int(s.pseudo.Load()),
+		History:     history,
+		Idempotency: idem,
+		Retrains:    s.retrains.Load(),
 	}
 
 	data, err := json.Marshal(state)
@@ -74,8 +112,19 @@ func (s *Server) LoadState(path string) error {
 	if state.Users == nil {
 		state.Users = map[string]*UserStats{}
 	}
+	frags := make([]publishedFrag, 0, len(state.Fragments)+len(state.Published))
+	for _, f := range state.Fragments {
+		frags = append(frags, publishedFrag{Trace: f.Trace, Owner: f.Owner})
+	}
+	for _, tr := range state.Published {
+		// Legacy snapshot: the owner was never written, so these
+		// fragments stay published but cannot be re-audited.
+		frags = append(frags, publishedFrag{Trace: tr})
+	}
 
-	s.resetShards(state.Published, state.Users)
+	s.resetShards(frags, state.History, state.Users)
+	s.idem.restore(state.Idempotency)
 	s.pseudo.Store(int64(state.Pseudo))
+	s.retrains.Store(state.Retrains)
 	return nil
 }

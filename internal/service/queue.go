@@ -287,9 +287,14 @@ func (s *Server) runJob(j *uploadJob) {
 }
 
 // protectAndCommit runs the engine and, on success, folds the result
-// into the uploader's shard.
+// into the uploader's shard. If the engine was hot-swapped while this
+// upload was being protected, the freshly committed fragments are
+// immediately re-audited against the new attacks (see audit.go): the
+// retrain pass cannot have seen them, and they were admitted by the
+// stale verifier.
 func (s *Server) protectAndCommit(t trace.Trace) (UploadResponse, error) {
-	res, err := s.protect(t)
+	eng := s.currentEngine()
+	res, err := s.protect(eng.p, t)
 	if err != nil {
 		return UploadResponse{}, err
 	}
@@ -298,7 +303,24 @@ func (s *Server) protectAndCommit(t trace.Trace) (UploadResponse, error) {
 		Accepted: res.ProtectedRecords(),
 		Rejected: res.LostRecords,
 	}
+	var committed []int64
 	sh := s.shard(t.User)
+	s.commit(sh, t, res, &resp, &committed)
+
+	if cur := s.currentEngine(); cur.epoch != eng.epoch && cur.auditor != nil && len(committed) > 0 {
+		// A retrain pass swapped the engine after this upload loaded its
+		// protector: the re-audit cannot have covered these fragments
+		// (they were not committed yet), so judge them here against the
+		// current attacks. Removal by seq is idempotent, so overlapping
+		// with a concurrent audit pass is harmless.
+		s.auditShardFrags(sh, cur.auditor, committed)
+	}
+	return resp, nil
+}
+
+// commit folds a protection result into the uploader's shard under the
+// shard lock (deferred unlock so a panic cannot leak it).
+func (s *Server) commit(sh *stateShard, t trace.Trace, res core.Result, resp *UploadResponse, committed *[]int64) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	us, ok := sh.users[t.User]
@@ -316,6 +338,15 @@ func (s *Server) protectAndCommit(t trace.Trace) (UploadResponse, error) {
 	sh.stats.RecordsIn += t.Len()
 	sh.stats.RecordsPublished += res.ProtectedRecords()
 	sh.stats.RecordsRejected += res.LostRecords
+	if s.opts.Retrainer != nil && s.opts.HistoryCap > 0 {
+		// The raw chunk joins the user's bounded history: it is what a
+		// real adversary could have collected by now, so it is what the
+		// next retrain pass must train against (§6 dynamic protection).
+		// The generation bump lets the periodic loop skip ticks where
+		// nothing new arrived.
+		sh.recordHistory(t.User, t.Records, s.opts.HistoryCap)
+		s.histGen.Add(1)
+	}
 	for _, p := range res.Pieces {
 		pub := p.Trace
 		if pub.User == t.User {
@@ -324,23 +355,28 @@ func (s *Server) protectAndCommit(t trace.Trace) (UploadResponse, error) {
 			// with a server-scoped pseudonym.
 			pub = pub.WithUser(fmt.Sprintf("pub-%06d", s.pseudo.Add(1)))
 		}
-		sh.published = append(sh.published, pub)
+		seq := s.fragSeq.Add(1)
+		sh.published = append(sh.published, publishedFrag{
+			Seq:   seq,
+			Trace: pub,
+			Owner: t.User,
+		})
+		*committed = append(*committed, seq)
 		resp.Pieces++
 		resp.Mechanisms = append(resp.Mechanisms, p.Mechanism)
 	}
-	return resp, nil
 }
 
 // protect calls the engine with the recover scoped to just that call:
 // a panic must fail the one job, and must never unwind through the
 // commit section where it would leak a shard lock.
-func (s *Server) protect(t trace.Trace) (res core.Result, err error) {
+func (s *Server) protect(p Protector, t trace.Trace) (res core.Result, err error) {
 	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("protection panicked: %v", p)
+		if pn := recover(); pn != nil {
+			err = fmt.Errorf("protection panicked: %v", pn)
 		}
 	}()
-	res, err = s.protector.Protect(t)
+	res, err = p.Protect(t)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("protection failed: %w", err)
 	}

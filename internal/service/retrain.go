@@ -1,0 +1,179 @@
+// Online dynamic protection — the paper's §6 extension brought to the
+// serving tier. The offline experiment (internal/eval.RunDynamic) showed
+// that attacks retrained on the history an adversary accumulates over
+// time re-identify fragments a stale verifier admitted; here the running
+// server closes the same gap:
+//
+//  1. Every accepted upload's raw records join a bounded per-user
+//     history (see stateShard.history) — the growing H.
+//  2. A retrain pass (periodic ticker and/or POST /v1/admin/retrain)
+//     hands that history to the configured Retrainer, which rebuilds the
+//     protection engine — in production, mood.Pipeline.Retrain retrains
+//     the attack set and HMC background on initial-background + history.
+//  3. The fresh engine is hot-swapped into the upload path atomically
+//     (Server.protector is an atomic.Pointer): uploads in flight finish
+//     on the engine they loaded, new uploads use the retrained one, and
+//     no request is ever rejected or delayed by the swap.
+//  4. A re-audit pass re-runs the protection predicate (ReIdentifies)
+//     over every published fragment against the retrained attacks and
+//     quarantines the ones that have become vulnerable: they leave
+//     /v1/dataset and are counted in /v1/stats. Admission control
+//     becomes continuous risk re-assessment.
+package service
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"mood/internal/trace"
+)
+
+// DefaultHistoryCap bounds the per-user raw upload history (in records)
+// the retrainer learns from when Options.HistoryCap is left zero.
+const DefaultHistoryCap = 50000
+
+// Auditor re-checks a published fragment against the current attack
+// set: it reports whether any attack links the (anonymised) fragment
+// back to its true user. It must be safe for concurrent ReIdentifies
+// calls — the re-audit pass fans fragments out across cores (trained
+// attacks are immutable, so mood.Pipeline satisfies this).
+type Auditor interface {
+	ReIdentifies(t trace.Trace, user string) (bool, string)
+}
+
+// Retrainer rebuilds the protection engine from the accumulated raw
+// upload history (one merged, time-sorted trace per user). It returns
+// the engine to hot-swap in and the auditor to re-audit the published
+// dataset with; a nil auditor skips the re-audit pass. Implementations
+// must not mutate the engine currently serving — the old protector keeps
+// running until the swap.
+type Retrainer interface {
+	Retrain(history []trace.Trace) (Protector, Auditor, error)
+}
+
+// RetrainerFunc adapts a function to the Retrainer interface.
+type RetrainerFunc func(history []trace.Trace) (Protector, Auditor, error)
+
+// Retrain implements Retrainer.
+func (f RetrainerFunc) Retrain(history []trace.Trace) (Protector, Auditor, error) {
+	return f(history)
+}
+
+// RetrainReport is the outcome of one retrain + re-audit pass, returned
+// by POST /v1/admin/retrain.
+type RetrainReport struct {
+	// HistoryUsers and HistoryRecords describe the training input.
+	HistoryUsers   int `json:"history_users"`
+	HistoryRecords int `json:"history_records"`
+	// Audited counts published fragments re-checked against the
+	// retrained attacks; Quarantined counts the ones found vulnerable
+	// and pulled from the dataset.
+	Audited     int `json:"audited"`
+	Quarantined int `json:"quarantined"`
+	// DurationMillis is the wall-clock cost of the whole pass. The swap
+	// itself is a single pointer store; uploads never wait on it.
+	DurationMillis int64 `json:"duration_ms"`
+}
+
+// ErrRetrainInProgress is returned by Retrain when another pass is
+// already running. Passes coalesce instead of queueing: a retrain is
+// CPU-heavy and back-to-back passes over near-identical inputs would
+// just starve upload protection.
+var ErrRetrainInProgress = errors.New("service: a retrain pass is already running")
+
+// Retrain runs one retrain + hot-swap + re-audit pass synchronously.
+// Only one pass runs at a time — a second caller gets
+// ErrRetrainInProgress instead of queueing. Uploads are never blocked:
+// they keep executing on the previous engine until the atomic swap and
+// on the new one after it.
+func (s *Server) Retrain() (RetrainReport, error) {
+	if s.opts.Retrainer == nil {
+		return RetrainReport{}, errors.New("service: no retrainer configured")
+	}
+	if !s.retrainMu.TryLock() {
+		return RetrainReport{}, ErrRetrainInProgress
+	}
+	defer s.retrainMu.Unlock()
+	began := time.Now()
+	gen := s.histGen.Load()
+
+	history := s.historySnapshot()
+	var report RetrainReport
+	report.HistoryUsers = len(history)
+	for _, h := range history {
+		report.HistoryRecords += h.Len()
+	}
+
+	protector, auditor, err := s.opts.Retrainer.Retrain(history)
+	if err != nil {
+		return RetrainReport{}, err
+	}
+	old := s.currentEngine()
+	next := &engineState{p: old.p, auditor: auditor, epoch: old.epoch + 1}
+	if protector != nil {
+		next.p = protector
+	}
+	// The swap is one pointer store: uploads in flight keep the engine
+	// they loaded (their commits self-audit if they land after this),
+	// new uploads pick up the retrained one immediately.
+	s.engine.Store(next)
+	if auditor != nil {
+		report.Audited, report.Quarantined = s.auditPublished(auditor)
+	}
+	s.retrains.Add(1)
+	s.lastTrained.Store(gen)
+	report.DurationMillis = time.Since(began).Milliseconds()
+	return report, nil
+}
+
+// retrainLoop drives periodic retraining until Close. Ticks where no
+// new history arrived since the last successful pass are skipped: the
+// rebuilt engine would be identical, so the pass would be pure wasted
+// CPU. The admin endpoint bypasses this check — an operator asking for
+// a pass gets one.
+func (s *Server) retrainLoop(interval time.Duration) {
+	defer close(s.retrainDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if s.retrains.Load() > 0 && s.histGen.Load() == s.lastTrained.Load() {
+				continue
+			}
+			// A failing retrain keeps the current engine serving; the
+			// next tick (or the admin endpoint) retries. The error is
+			// surfaced on the admin path, where a caller can see it.
+			s.Retrain() //nolint:errcheck
+		case <-s.retrainStop:
+			return
+		}
+	}
+}
+
+// handleRetrain is POST /v1/admin/retrain: trigger a retrain + re-audit
+// pass now and report what it did. The route sits behind the same
+// middleware chain as everything else, so bearer-token auth (when
+// configured) covers it.
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.opts.Retrainer == nil {
+		httpError(w, http.StatusNotFound, "retraining not configured (start the server with a Retrainer)")
+		return
+	}
+	report, err := s.Retrain()
+	if errors.Is(err, ErrRetrainInProgress) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "retrain failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}

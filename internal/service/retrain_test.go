@@ -1,0 +1,448 @@
+package service
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mood/internal/core"
+	"mood/internal/trace"
+)
+
+// markedProtector admits everything and stamps each fragment's mechanism
+// with its generation, so tests can see which engine handled an upload.
+// Pseudonyms are numbered per call so fragments stay distinct in the
+// published dataset.
+type markedProtector struct {
+	mark  string
+	mu    sync.Mutex
+	calls int
+}
+
+func (m *markedProtector) Protect(t trace.Trace) (core.Result, error) {
+	m.mu.Lock()
+	m.calls++
+	n := m.calls
+	m.mu.Unlock()
+	return core.Result{
+		User:         t.User,
+		TotalRecords: t.Len(),
+		Pieces: []core.Piece{{
+			Trace:         t.WithUser(fmt.Sprintf("anon-%s-%d", m.mark, n)),
+			Mechanism:     m.mark,
+			SourceRecords: t.Len(),
+		}},
+	}, nil
+}
+
+// ownerAuditor condemns every fragment whose owner has the configured
+// prefix — a stand-in for "the retrained attacks now re-identify this
+// user's published data".
+type ownerAuditor struct {
+	prefix string
+}
+
+func (a ownerAuditor) ReIdentifies(t trace.Trace, user string) (bool, string) {
+	if strings.HasPrefix(user, a.prefix) {
+		return true, "owner-auditor"
+	}
+	return false, ""
+}
+
+func newRetrainServer(t *testing.T, rt Retrainer, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	opts = append([]Option{WithRetrainer(rt, 0)}, opts...)
+	srv, err := New(&markedProtector{mark: "gen0"}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func TestRetrainSwapsProtectorAndQuarantines(t *testing.T) {
+	var gen int
+	var mu sync.Mutex
+	var seenHistory []trace.Trace
+	rt := RetrainerFunc(func(history []trace.Trace) (Protector, Auditor, error) {
+		mu.Lock()
+		gen++
+		g := gen
+		seenHistory = history
+		mu.Unlock()
+		return &markedProtector{mark: fmt.Sprintf("gen%d", g)}, ownerAuditor{prefix: "drift-"}, nil
+	})
+	_, hs := newRetrainServer(t, rt)
+	c := NewClient(hs.URL)
+
+	if _, err := c.Upload(trace.New("alice", sampleRecords(10))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Upload(trace.New("drift-bob", sampleRecords(8))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both fragments published, both admitted by the startup engine.
+	d, err := c.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 2 {
+		t.Fatalf("published %d fragments before retrain, want 2", d.NumUsers())
+	}
+
+	report, err := c.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Audited != 2 || report.Quarantined != 1 {
+		t.Fatalf("report = %+v, want audited 2, quarantined 1", report)
+	}
+	if report.HistoryUsers != 2 || report.HistoryRecords != 18 {
+		t.Fatalf("report history = %d users / %d records, want 2/18", report.HistoryUsers, report.HistoryRecords)
+	}
+	mu.Lock()
+	for _, h := range seenHistory {
+		if !h.Sorted() {
+			t.Errorf("history trace %s not time-sorted", h.User)
+		}
+	}
+	mu.Unlock()
+
+	// drift-bob's fragment left the dataset; alice's stayed.
+	d, err = c.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 1 || !strings.HasPrefix(d.Traces[0].User, "anon-gen0-") {
+		t.Fatalf("dataset after quarantine = %v", d.Users())
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QuarantinedTraces != 1 || st.RecordsQuarantined != 8 {
+		t.Fatalf("stats quarantine = %d traces / %d records, want 1/8", st.QuarantinedTraces, st.RecordsQuarantined)
+	}
+	if st.PublishedTraces != 1 || st.Retrains != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	us, err := c.UserStats("drift-bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us.PiecesQuarantined != 1 || us.RecordsQuarantined != 8 {
+		t.Fatalf("drift-bob stats = %+v", us)
+	}
+
+	// Uploads now run on the swapped engine.
+	resp, err := c.Upload(trace.New("carol", sampleRecords(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Mechanisms) != 1 || resp.Mechanisms[0] != "gen1" {
+		t.Fatalf("post-swap upload used %v, want gen1", resp.Mechanisms)
+	}
+}
+
+func TestRetrainHotSwapHasNoUploadDowntime(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	rt := RetrainerFunc(func(history []trace.Trace) (Protector, Auditor, error) {
+		close(entered)
+		<-block
+		return &markedProtector{mark: "gen1"}, nil, nil
+	})
+	srv, hs := newRetrainServer(t, rt)
+	c := NewClient(hs.URL)
+
+	if _, err := c.Upload(trace.New("alice", sampleRecords(3))); err != nil {
+		t.Fatal(err)
+	}
+
+	retrained := make(chan error, 1)
+	go func() {
+		_, err := srv.Retrain()
+		retrained <- err
+	}()
+	<-entered
+
+	// The retrainer is mid-rebuild: uploads must keep flowing on the old
+	// engine, not wait for the swap.
+	for i := 0; i < 5; i++ {
+		resp, err := c.Upload(trace.New(fmt.Sprintf("user-%d", i), sampleRecords(2)))
+		if err != nil {
+			t.Fatalf("upload during retrain: %v", err)
+		}
+		if resp.Mechanisms[0] != "gen0" {
+			t.Fatalf("upload during retrain used %v, want gen0", resp.Mechanisms)
+		}
+	}
+
+	close(block)
+	if err := <-retrained; err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Upload(trace.New("late", sampleRecords(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mechanisms[0] != "gen1" {
+		t.Fatalf("upload after retrain used %v, want gen1", resp.Mechanisms)
+	}
+}
+
+func TestRetrainEndpointWithoutRetrainerIs404(t *testing.T) {
+	_, hs := newTestServer(t)
+	c := NewClient(hs.URL)
+	if _, err := c.Retrain(); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("retrain without retrainer: %v", err)
+	}
+}
+
+func TestRetrainErrorKeepsServing(t *testing.T) {
+	rt := RetrainerFunc(func([]trace.Trace) (Protector, Auditor, error) {
+		return nil, nil, fmt.Errorf("no converged model yet")
+	})
+	_, hs := newRetrainServer(t, rt)
+	c := NewClient(hs.URL)
+
+	if _, err := c.Retrain(); err == nil || !strings.Contains(err.Error(), "no converged model") {
+		t.Fatalf("retrain error = %v", err)
+	}
+	resp, err := c.Upload(trace.New("alice", sampleRecords(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mechanisms[0] != "gen0" {
+		t.Fatalf("upload after failed retrain used %v, want the original engine", resp.Mechanisms)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retrains != 0 {
+		t.Fatalf("failed retrain counted: %+v", st)
+	}
+}
+
+func TestHistoryCapBoundsPerUserHistory(t *testing.T) {
+	var mu sync.Mutex
+	var got []trace.Trace
+	rt := RetrainerFunc(func(history []trace.Trace) (Protector, Auditor, error) {
+		mu.Lock()
+		got = history
+		mu.Unlock()
+		return nil, nil, nil
+	})
+	srv, hs := newRetrainServer(t, rt, WithHistoryCap(5))
+	c := NewClient(hs.URL)
+
+	if _, err := c.Upload(trace.New("alice", sampleRecords(8))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Upload(trace.New("alice", sampleRecords(4))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].User != "alice" {
+		t.Fatalf("history = %v", got)
+	}
+	if got[0].Len() != 5 {
+		t.Fatalf("history kept %d records, want cap 5", got[0].Len())
+	}
+}
+
+func TestNoHistoryWithoutRetrainer(t *testing.T) {
+	srv, hs := newTestServer(t)
+	c := NewClient(hs.URL)
+	if _, err := c.Upload(trace.New("alice", sampleRecords(6))); err != nil {
+		t.Fatal(err)
+	}
+	if h := srv.historySnapshot(); len(h) != 0 {
+		t.Fatalf("history accumulated without a retrainer: %v", h)
+	}
+}
+
+func TestPeriodicRetrainLoop(t *testing.T) {
+	passes := make(chan struct{}, 64)
+	rt := RetrainerFunc(func([]trace.Trace) (Protector, Auditor, error) {
+		select {
+		case passes <- struct{}{}:
+		default:
+		}
+		return nil, nil, nil
+	})
+	srv, err := New(&markedProtector{mark: "gen0"}, WithRetrainer(rt, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPass := func(what string) {
+		t.Helper()
+		select {
+		case <-passes:
+		case <-time.After(5 * time.Second):
+			srv.Close()
+			t.Fatalf("periodic retrain never fired (%s)", what)
+		}
+	}
+	waitPass("first tick")
+
+	// No history change since the pass: further ticks must be skipped —
+	// the rebuilt engine would be identical.
+	time.Sleep(50 * time.Millisecond)
+	if len(passes) != 0 {
+		srv.Close()
+		t.Fatal("idle ticks retrained on unchanged history")
+	}
+
+	// New history arrives; the next tick retrains again.
+	if _, err := srv.protectAndCommit(trace.New("alice", sampleRecords(2))); err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	waitPass("after new history")
+
+	// Close must stop the loop and join it (no goroutine leak, no tick
+	// after shutdown).
+	srv.Close()
+	drained := len(passes)
+	time.Sleep(30 * time.Millisecond)
+	if len(passes) != drained {
+		t.Fatal("retrain ticked after Close")
+	}
+}
+
+func TestConcurrentRetrainCoalesces(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	rt := RetrainerFunc(func([]trace.Trace) (Protector, Auditor, error) {
+		once.Do(func() {
+			close(entered)
+			<-block
+		})
+		return nil, nil, nil
+	})
+	srv, hs := newRetrainServer(t, rt)
+	c := NewClient(hs.URL)
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := srv.Retrain()
+		first <- err
+	}()
+	<-entered
+
+	// A second pass while one is running must not queue behind it.
+	if _, err := srv.Retrain(); err != ErrRetrainInProgress {
+		t.Fatalf("concurrent Retrain = %v, want ErrRetrainInProgress", err)
+	}
+	if _, err := c.Retrain(); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("concurrent admin retrain = %v, want 409", err)
+	}
+
+	close(block)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	// With the pass finished, retraining works again.
+	if _, err := srv.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gateProtector blocks inside Protect for users with the "slow-" prefix
+// until released, simulating an upload whose protection is in flight
+// while a retrain pass swaps the engine.
+type gateProtector struct {
+	inner   markedProtector
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gateProtector) Protect(t trace.Trace) (core.Result, error) {
+	if strings.HasPrefix(t.User, "slow-") {
+		close(g.entered)
+		<-g.release
+	}
+	return g.inner.Protect(t)
+}
+
+// TestCommitRacingSwapIsSelfAudited is the regression test for the
+// audit-gap race: an upload that loaded the pre-swap engine and commits
+// after the retrain's re-audit pass finished must re-audit its own
+// fragments, or a stale-verifier admission would stay published forever.
+func TestCommitRacingSwapIsSelfAudited(t *testing.T) {
+	gp := &gateProtector{
+		inner:   markedProtector{mark: "gen0"},
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	rt := RetrainerFunc(func([]trace.Trace) (Protector, Auditor, error) {
+		return nil, ownerAuditor{prefix: "slow-"}, nil
+	})
+	srv, err := New(gp, WithRetrainer(rt, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.protectAndCommit(trace.New("slow-alice", sampleRecords(6)))
+		done <- err
+	}()
+	<-gp.entered
+
+	// The engine swaps (and the re-audit pass runs over an empty
+	// dataset) while slow-alice's protection is still in flight.
+	report, err := srv.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Audited != 0 {
+		t.Fatalf("audit pass saw %d fragments before the commit", report.Audited)
+	}
+
+	close(gp.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The commit landed after the audit pass, admitted by the stale
+	// engine — the self-audit must have quarantined it.
+	st := srv.Stats()
+	if st.PublishedTraces != 0 || st.QuarantinedTraces != 1 || st.RecordsQuarantined != 6 {
+		t.Fatalf("racing commit escaped the re-audit: %+v", st)
+	}
+	us, err := userStatsOf(srv, "slow-alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us.PiecesQuarantined != 1 {
+		t.Fatalf("owner accounting missed the self-audit: %+v", us)
+	}
+}
+
+// userStatsOf reads one user's accounting directly off the shards.
+func userStatsOf(s *Server, user string) (UserStats, error) {
+	sh := s.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	us, ok := sh.users[user]
+	if !ok {
+		return UserStats{}, fmt.Errorf("unknown user %q", user)
+	}
+	return *us, nil
+}

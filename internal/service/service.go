@@ -19,6 +19,9 @@
 //	GET  /v1/stats             ServerStats
 //	GET  /v1/users/{id}        per-user upload accounting
 //	GET  /v1/metrics           request metrics (MetricsSnapshot)
+//	POST /v1/admin/retrain     retrain attacks on accumulated history,
+//	                           hot-swap the engine, re-audit + quarantine
+//	                           published fragments (see retrain.go)
 //	GET  /healthz              liveness probe
 //
 // Requests flow through a fixed middleware chain (see Middleware):
@@ -74,6 +77,20 @@ type Options struct {
 	// IdempotencyWindow caps the upload dedupe window (entries tracked
 	// for X-Mood-Idempotency-Key replays). Default 4096.
 	IdempotencyWindow int
+	// Retrainer, when non-nil, enables the online dynamic-protection
+	// subsystem: POST /v1/admin/retrain (and, when RetrainInterval > 0,
+	// a background ticker) rebuilds the protection engine from the
+	// accumulated raw upload history, hot-swaps it, and re-audits every
+	// published fragment (see retrain.go).
+	Retrainer Retrainer
+	// RetrainInterval is the period of the background retrain loop;
+	// 0 disables the loop (the admin endpoint still works).
+	RetrainInterval time.Duration
+	// HistoryCap bounds the per-user raw upload history the retrainer
+	// learns from, in records (oldest dropped first). Default 50000;
+	// negative disables history accumulation. Only consulted when a
+	// Retrainer is configured.
+	HistoryCap int
 }
 
 // Option mutates Options.
@@ -101,6 +118,16 @@ func WithAuthToken(token string) Option { return func(o *Options) { o.AuthToken 
 // WithIdempotencyWindow caps the upload dedupe window.
 func WithIdempotencyWindow(n int) Option { return func(o *Options) { o.IdempotencyWindow = n } }
 
+// WithRetrainer enables online dynamic protection: rt rebuilds the
+// engine from accumulated history, interval drives the background loop
+// (0 = on-demand only via POST /v1/admin/retrain).
+func WithRetrainer(rt Retrainer, interval time.Duration) Option {
+	return func(o *Options) { o.Retrainer = rt; o.RetrainInterval = interval }
+}
+
+// WithHistoryCap bounds the per-user raw history, in records.
+func WithHistoryCap(n int) Option { return func(o *Options) { o.HistoryCap = n } }
+
 // DefaultRequestTimeout is what a zero Options.RequestTimeout means;
 // exported so operators sizing http.Server write timeouts around the
 // handler timeout can mirror the resolution.
@@ -122,25 +149,58 @@ func (o *Options) fill() {
 	if o.IdempotencyWindow <= 0 {
 		o.IdempotencyWindow = DefaultIdempotencyWindow
 	}
+	if o.HistoryCap == 0 {
+		o.HistoryCap = DefaultHistoryCap
+	}
 }
 
 // Server implements the crowd-sensing middleware. Create with New and
 // mount via Handler. Safe for concurrent use; Close releases the worker
 // pool.
 type Server struct {
-	protector Protector
-	opts      Options
+	// engine is read atomically on every upload and replaced whole by a
+	// retrain pass, so the protector hot-swaps with zero upload
+	// downtime: in-flight jobs finish on the engine they loaded, new
+	// jobs pick up the fresh one. The cell also carries the auditor and
+	// an epoch so a commit can detect it ran on a stale engine (see
+	// audit.go).
+	engine atomic.Pointer[engineState]
+	opts   Options
 
-	shards [numShards]stateShard
-	pseudo atomic.Int64
+	shards  [numShards]stateShard
+	pseudo  atomic.Int64
+	fragSeq atomic.Int64 // audit handles for published fragments
 
 	pool    *workerPool
 	jobs    *jobStore
 	idem    *idemStore
 	metrics *requestMetrics
 
+	retrainMu   sync.Mutex // held by the one retrain+audit pass in flight
+	retrains    atomic.Int64
+	histGen     atomic.Int64 // bumped on every history append
+	lastTrained atomic.Int64 // histGen the last successful pass saw
+	retrainStop chan struct{}
+	retrainDone chan struct{}
+
 	saveMu sync.Mutex // serialises SaveState snapshots
 	closed atomic.Bool
+}
+
+// engineState is the atomically-swapped protection engine: the
+// protector uploads run on, the auditor that judges published fragments
+// against the same attack generation, and a monotonically increasing
+// epoch (0 = the startup engine) used to detect commits that raced a
+// swap.
+type engineState struct {
+	p       Protector
+	auditor Auditor
+	epoch   int64
+}
+
+// currentEngine loads the engine state an upload should run on.
+func (s *Server) currentEngine() *engineState {
+	return s.engine.Load()
 }
 
 // UserStats is the per-participant accounting.
@@ -153,8 +213,13 @@ type UserStats struct {
 	RecordsPublished int `json:"records_published"`
 	// RecordsRejected counts records erased as unprotectable.
 	RecordsRejected int `json:"records_rejected"`
+	// RecordsQuarantined counts published records later pulled by a
+	// re-audit pass (see retrain.go).
+	RecordsQuarantined int `json:"records_quarantined"`
 	// Pieces counts published fragments.
 	Pieces int `json:"pieces"`
+	// PiecesQuarantined counts fragments pulled by re-audit passes.
+	PiecesQuarantined int `json:"pieces_quarantined"`
 }
 
 // ServerStats is the global accounting.
@@ -168,8 +233,16 @@ type ServerStats struct {
 	RecordsIn        int `json:"records_in"`
 	RecordsPublished int `json:"records_published"`
 	RecordsRejected  int `json:"records_rejected"`
+	// RecordsQuarantined counts once-published records pulled by
+	// re-audit passes.
+	RecordsQuarantined int `json:"records_quarantined"`
 	// PublishedTraces counts fragments in the published dataset.
 	PublishedTraces int `json:"published_traces"`
+	// QuarantinedTraces counts fragments removed because a retrained
+	// attack set re-identifies them (continuous risk re-assessment).
+	QuarantinedTraces int `json:"quarantined_traces"`
+	// Retrains counts completed retrain + re-audit passes.
+	Retrains int `json:"retrains"`
 }
 
 // UploadRequest is the body of POST /v1/upload.
@@ -202,16 +275,22 @@ func New(p Protector, opts ...Option) (*Server, error) {
 	}
 	o.fill()
 	s := &Server{
-		protector: p,
-		opts:      o,
-		jobs:      newJobStore(),
-		idem:      newIdemStore(o.IdempotencyWindow),
-		metrics:   newRequestMetrics(),
+		opts:    o,
+		jobs:    newJobStore(),
+		idem:    newIdemStore(o.IdempotencyWindow),
+		metrics: newRequestMetrics(),
 	}
+	s.engine.Store(&engineState{p: p})
 	for i := range s.shards {
 		s.shards[i].users = make(map[string]*UserStats)
+		s.shards[i].history = make(map[string][]trace.Record)
 	}
 	s.pool = newWorkerPool(o.Workers, o.QueueDepth, s.runJob)
+	if o.Retrainer != nil && o.RetrainInterval > 0 {
+		s.retrainStop = make(chan struct{})
+		s.retrainDone = make(chan struct{})
+		go s.retrainLoop(o.RetrainInterval)
+	}
 	return s, nil
 }
 
@@ -219,6 +298,10 @@ func New(p Protector, opts ...Option) (*Server, error) {
 // and the workers exit. Safe to call more than once.
 func (s *Server) Close() error {
 	if s.closed.CompareAndSwap(false, true) {
+		if s.retrainStop != nil {
+			close(s.retrainStop)
+			<-s.retrainDone
+		}
 		s.pool.close()
 	}
 	return nil
@@ -237,6 +320,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/users/", s.handleUser)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/admin/retrain", s.handleRetrain)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -266,12 +350,18 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	if req.User == "" {
-		httpError(w, http.StatusBadRequest, "missing user")
+	if err := validateUserID(req.User); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(req.Records) == 0 {
 		httpError(w, http.StatusBadRequest, "no records")
+		return
+	}
+	async, ok := asyncMode(r)
+	if !ok {
+		httpError(w, http.StatusBadRequest,
+			`invalid async parameter (use "1"/"true" or "0"/"false")`)
 		return
 	}
 	if h := r.Header.Get(UserHeader); h != "" && h != req.User {
@@ -308,25 +398,58 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			}
 			// Retry of an upload already accepted under this key: replay
 			// the original outcome instead of committing twice.
-			s.replayUpload(w, r, t.User, e)
+			s.replayUpload(w, r, t.User, e, async)
 			return
 		}
 		idem = e
 	}
 
-	if isAsync(r) {
+	if async {
 		s.dispatchAsync(w, t, key, idem)
 		return
 	}
 	s.dispatchSync(w, r, t, key, idem)
 }
 
-func isAsync(r *http.Request) bool {
-	switch r.URL.Query().Get("async") {
+// asyncMode parses the ?async upload parameter. Only "1"/"true" select
+// the asynchronous path and only ""/"0"/"false" the synchronous one
+// (case-insensitive); anything else is a client error — the historical
+// behaviour treated every other value as async, so `?async=no` silently
+// ran async and answered 202.
+func asyncMode(r *http.Request) (async, ok bool) {
+	switch strings.ToLower(r.URL.Query().Get("async")) {
 	case "", "0", "false":
-		return false
+		return false, true
+	case "1", "true":
+		return true, true
 	}
-	return true
+	return false, false
+}
+
+// maxUserIDLen bounds uploader IDs; they are path segments and map keys,
+// not payloads.
+const maxUserIDLen = 256
+
+// validateUserID rejects IDs that cannot round-trip through the API:
+// `/` would make the user unreachable via GET /v1/users/{id} (the path
+// is split on it), and control characters poison logs, CSV export and
+// the NUL-separated idempotency key space.
+func validateUserID(id string) error {
+	if id == "" {
+		return errors.New("missing user")
+	}
+	if len(id) > maxUserIDLen {
+		return fmt.Errorf("user id exceeds %d bytes", maxUserIDLen)
+	}
+	for _, r := range id {
+		if r == '/' {
+			return errors.New("invalid user id: must not contain '/'")
+		}
+		if r < 0x20 || r == 0x7f {
+			return errors.New("invalid user id: must not contain control characters")
+		}
+	}
+	return nil
 }
 
 // dispatchSync runs the upload through the worker pool and waits for

@@ -14,13 +14,28 @@ import (
 // pool on typical hardware while keeping aggregation cheap.
 const numShards = 16
 
+// publishedFrag is one fragment of the published dataset together with
+// the server-side provenance the wire never exposes: Owner is the true
+// uploader (needed to re-audit the fragment against retrained attacks —
+// ReIdentifies asks "does any attack link this trace back to its real
+// user?"), Seq is a server-unique handle so an audit pass can evaluate
+// fragments outside the shard lock and still remove exactly the ones it
+// judged.
+type publishedFrag struct {
+	Seq   int64
+	Trace trace.Trace
+	Owner string
+}
+
 // stateShard holds one slice of the server state: the users that hash
-// here, the fragments they published, and the partial global counters.
-// The global view is the sum over shards.
+// here, the fragments they published, their raw upload history (the
+// growing attacker-side knowledge the retrainer learns from), and the
+// partial global counters. The global view is the sum over shards.
 type stateShard struct {
 	mu        sync.Mutex
-	published []trace.Trace
+	published []publishedFrag
 	users     map[string]*UserStats
+	history   map[string][]trace.Record
 	stats     ServerStats
 }
 
@@ -44,11 +59,14 @@ func (st *ServerStats) accumulate(sh *stateShard) {
 	st.RecordsIn += sh.stats.RecordsIn
 	st.RecordsPublished += sh.stats.RecordsPublished
 	st.RecordsRejected += sh.stats.RecordsRejected
+	st.RecordsQuarantined += sh.stats.RecordsQuarantined
+	st.QuarantinedTraces += sh.stats.QuarantinedTraces
 	st.PublishedTraces += len(sh.published)
 }
 
 // statsSnapshot sums the per-shard partial counters into the global
-// view clients see on /v1/stats.
+// view clients see on /v1/stats. The retrain counter lives outside the
+// shards (a retrain pass is global, not per-user).
 func (s *Server) statsSnapshot() ServerStats {
 	var out ServerStats
 	for i := range s.shards {
@@ -57,6 +75,7 @@ func (s *Server) statsSnapshot() ServerStats {
 		out.accumulate(sh)
 		sh.mu.Unlock()
 	}
+	out.Retrains = int(s.retrains.Load())
 	return out
 }
 
@@ -68,9 +87,28 @@ func (s *Server) publishedSnapshot() []trace.Trace {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		out = append(out, sh.published...)
+		for _, f := range sh.published {
+			out = append(out, f.Trace)
+		}
 		sh.mu.Unlock()
 	}
+	return out
+}
+
+// historySnapshot assembles the accumulated raw upload history as one
+// trace per user (records copied and time-sorted). This is what the
+// retrainer trains on: the paper's H as it has grown since startup.
+func (s *Server) historySnapshot() []trace.Trace {
+	var out []trace.Trace
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for u, recs := range sh.history {
+			out = append(out, trace.New(u, recs))
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
 	return out
 }
 
@@ -89,13 +127,13 @@ func (s *Server) userIDs() []string {
 	return out
 }
 
-// fullSnapshot copies published, users and stats while holding every
-// shard lock at once, so the persisted state is a single point in time:
-// an upload committing concurrently is either entirely in the snapshot
-// or entirely absent, never torn across sections. Shards lock in index
-// order; all other paths lock one shard at a time, so this cannot
-// deadlock.
-func (s *Server) fullSnapshot() (published []trace.Trace, users map[string]*UserStats, stats ServerStats) {
+// fullSnapshot copies published, history, users and stats while holding
+// every shard lock at once, so the persisted state is a single point in
+// time: an upload committing concurrently is either entirely in the
+// snapshot or entirely absent, never torn across sections. Shards lock
+// in index order; all other paths lock one shard at a time, so this
+// cannot deadlock.
+func (s *Server) fullSnapshot() (published []publishedFrag, history map[string][]trace.Record, users map[string]*UserStats, stats ServerStats) {
 	for i := range s.shards {
 		s.shards[i].mu.Lock()
 	}
@@ -105,6 +143,7 @@ func (s *Server) fullSnapshot() (published []trace.Trace, users map[string]*User
 		}
 	}()
 	users = make(map[string]*UserStats)
+	history = make(map[string][]trace.Record)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		published = append(published, sh.published...)
@@ -112,20 +151,27 @@ func (s *Server) fullSnapshot() (published []trace.Trace, users map[string]*User
 			cp := *us
 			users[u] = &cp
 		}
+		for u, recs := range sh.history {
+			history[u] = append([]trace.Record(nil), recs...)
+		}
 		stats.accumulate(sh)
 	}
-	return published, users, stats
+	stats.Retrains = int(s.retrains.Load())
+	return published, history, users, stats
 }
 
 // resetShards replaces the whole sharded state with the given snapshot
 // (used by LoadState). Per-shard partial stats are rederived from the
 // user accounting, which sums exactly to the persisted global stats.
-func (s *Server) resetShards(published []trace.Trace, users map[string]*UserStats) {
+// Fragment sequence numbers are reissued: they are process-local audit
+// handles, not durable identity.
+func (s *Server) resetShards(published []publishedFrag, history map[string][]trace.Record, users map[string]*UserStats) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.published = nil
 		sh.users = make(map[string]*UserStats)
+		sh.history = make(map[string][]trace.Record)
 		sh.stats = ServerStats{}
 		sh.mu.Unlock()
 	}
@@ -139,12 +185,43 @@ func (s *Server) resetShards(published []trace.Trace, users map[string]*UserStat
 		sh.stats.RecordsIn += us.RecordsIn
 		sh.stats.RecordsPublished += us.RecordsPublished
 		sh.stats.RecordsRejected += us.RecordsRejected
+		sh.stats.RecordsQuarantined += us.RecordsQuarantined
+		sh.stats.QuarantinedTraces += us.PiecesQuarantined
 		sh.mu.Unlock()
 	}
-	for _, tr := range published {
-		sh := s.shard(tr.User)
+	for _, f := range published {
+		// Fragments live in their owner's shard (as the commit path
+		// stores them), so a quarantine updates the fragment list and
+		// the owner's accounting under one lock. Legacy snapshots carry
+		// no owner; those fragments shard by their published label and
+		// are exempt from re-audit anyway.
+		key := f.Owner
+		if key == "" {
+			key = f.Trace.User
+		}
+		sh := s.shard(key)
 		sh.mu.Lock()
-		sh.published = append(sh.published, tr)
+		f.Seq = s.fragSeq.Add(1)
+		sh.published = append(sh.published, f)
 		sh.mu.Unlock()
 	}
+	for u, recs := range history {
+		sh := s.shard(u)
+		sh.mu.Lock()
+		sh.history[u] = append([]trace.Record(nil), recs...)
+		sh.mu.Unlock()
+	}
+}
+
+// recordHistory appends an accepted upload's raw records to the user's
+// bounded history, dropping the oldest overflow. Callers hold sh.mu.
+func (sh *stateShard) recordHistory(user string, records []trace.Record, cap int) {
+	if cap <= 0 {
+		return
+	}
+	h := append(sh.history[user], records...)
+	if len(h) > cap {
+		h = append([]trace.Record(nil), h[len(h)-cap:]...)
+	}
+	sh.history[user] = h
 }

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postUpload sends a raw upload and returns the status code.
+func postUpload(t *testing.T, baseURL, query, body string) int {
+	t.Helper()
+	url := baseURL + "/v1/upload"
+	if query != "" {
+		url += "?" + query
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+func uploadBody(t *testing.T, user string) string {
+	t.Helper()
+	b, err := json.Marshal(UploadRequest{User: user, Records: sampleRecords(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// Regression for the async-parameter bug: every value except ""/"0"/
+// "false" used to run async and answer 202, so `?async=no` silently
+// detached the upload from the response the client was waiting on.
+func TestAsyncParamValidation(t *testing.T) {
+	_, hs := newTestServer(t)
+	body := uploadBody(t, "alice")
+
+	for _, q := range []string{"", "async=0", "async=false", "async=FALSE"} {
+		if code := postUpload(t, hs.URL, q, body); code != http.StatusOK {
+			t.Errorf("%q: code %d, want 200 (sync)", q, code)
+		}
+	}
+	for _, q := range []string{"async=1", "async=true", "async=TRUE"} {
+		if code := postUpload(t, hs.URL, q, body); code != http.StatusAccepted {
+			t.Errorf("%q: code %d, want 202 (async)", q, code)
+		}
+	}
+	for _, q := range []string{"async=no", "async=yes", "async=2", "async=async"} {
+		if code := postUpload(t, hs.URL, q, body); code != http.StatusBadRequest {
+			t.Errorf("%q: code %d, want 400", q, code)
+		}
+	}
+}
+
+// Regression for the routing hole: user IDs containing '/' were accepted
+// at upload but unreachable via GET /v1/users/{id} (the path is trimmed
+// at the first '/'), leaving accounting no client could ever read.
+func TestUserIDValidation(t *testing.T) {
+	_, hs := newTestServer(t)
+
+	bad := []string{
+		"a/b",
+		"/leading",
+		"trailing/",
+		"tab\there",
+		"new\nline",
+		"nul\x00byte",
+		"bell\x07",
+		"del\x7f",
+		strings.Repeat("x", maxUserIDLen+1),
+	}
+	for _, id := range bad {
+		if code := postUpload(t, hs.URL, "", uploadBody(t, id)); code != http.StatusBadRequest {
+			t.Errorf("user %q: code %d, want 400", id, code)
+		}
+	}
+
+	// Valid IDs upload fine and stay reachable through the users route —
+	// the invariant the validation exists to protect.
+	good := []string{"alice", "user-42", "Ünïcôdé", "dots.and_underscores", strings.Repeat("y", maxUserIDLen)}
+	c := NewClient(hs.URL)
+	for _, id := range good {
+		if code := postUpload(t, hs.URL, "", uploadBody(t, id)); code != http.StatusOK {
+			t.Fatalf("user %q: code %d, want 200", id, code)
+		}
+		us, err := c.UserStats(id)
+		if err != nil {
+			t.Fatalf("user %q unreachable after upload: %v", id, err)
+		}
+		if us.Uploads != 1 {
+			t.Fatalf("user %q stats = %+v", id, us)
+		}
+	}
+}
+
+// The async validation also applies to idempotent replays: an invalid
+// async value on a retry is rejected before the key is consulted.
+func TestAsyncParamValidationOnKeyedRetry(t *testing.T) {
+	_, hs := newTestServer(t)
+	body := uploadBody(t, "alice")
+
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/upload", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(IdempotencyKeyHeader, "k1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("original upload: %d", resp.StatusCode)
+	}
+
+	req, err = http.NewRequest(http.MethodPost, hs.URL+"/v1/upload?async=maybe", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(IdempotencyKeyHeader, "k1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("retry with invalid async: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestValidateUserIDUnit(t *testing.T) {
+	if err := validateUserID(""); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := validateUserID("ok"); err != nil {
+		t.Errorf("plain id rejected: %v", err)
+	}
+	if err := validateUserID(fmt.Sprintf("sp%cce", ' ')); err != nil {
+		t.Errorf("space rejected: %v", err)
+	}
+}

@@ -79,6 +79,7 @@ type Pipeline struct {
 	hybrid core.Hybrid
 	atks   attack.Set
 	lppms  []Mechanism
+	opts   []Option // kept so Retrain can rebuild with the same config
 }
 
 // options collects the pipeline configuration.
@@ -199,6 +200,8 @@ func NewPipeline(background []Trace, opts ...Option) (*Pipeline, error) {
 	if o.greedy {
 		search = core.Greedy{}
 	}
+	stored := make([]Option, len(opts))
+	copy(stored, opts)
 	return &Pipeline{
 		engine: &core.Engine{
 			LPPMs:   portfolio,
@@ -212,7 +215,31 @@ func NewPipeline(background []Trace, opts ...Option) (*Pipeline, error) {
 		hybrid: core.Hybrid{LPPMs: portfolio, Attacks: atks, Utility: o.utility, Seed: o.seed},
 		atks:   atks,
 		lppms:  portfolio,
+		opts:   stored,
 	}, nil
+}
+
+// Retrain builds a fresh Pipeline with the same configuration but new
+// background knowledge — the paper's §6 extension: "the training set of
+// the re-identification attacks can be periodically updated … a dynamic
+// protection that evolves with the possible evolutions of the user
+// behaviour". The attack set and HMC's imitation pool are rebuilt from
+// scratch on the new background; the original Pipeline is untouched and
+// keeps serving, so callers can hot-swap atomically.
+//
+// Pipelines built with WithAttacks cannot be retrained: re-training the
+// caller's attack instances would mutate profiles the original Pipeline
+// is concurrently reading. Build a new Pipeline with fresh attacks
+// instead.
+func (p *Pipeline) Retrain(background []Trace) (*Pipeline, error) {
+	var o options
+	for _, opt := range p.opts {
+		opt(&o)
+	}
+	if o.attacks != nil {
+		return nil, errors.New("mood: Retrain cannot rebuild a custom attack set (WithAttacks); build a new Pipeline instead")
+	}
+	return NewPipeline(background, p.opts...)
 }
 
 // Protect runs MooD's Algorithm 1 on one trace.

@@ -1,0 +1,88 @@
+package mood_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mood"
+	"mood/internal/attack"
+)
+
+// TestPipelineRetrain covers the §6 rebuild API: a retrained pipeline is
+// a fresh engine over new background knowledge with the original
+// configuration, and the original pipeline keeps working untouched.
+func TestPipelineRetrain(t *testing.T) {
+	p1, test := env(t, 105)
+	victim := test.Traces[0]
+
+	before, err := p1.Protect(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Retrain on the (drifted) test period itself.
+	p2, err := p1.Retrain(test.Traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p1 {
+		t.Fatal("Retrain returned the same pipeline")
+	}
+	if got := p2.Attacks(); len(got) != 3 {
+		t.Fatalf("retrained attacks = %v", got)
+	}
+
+	// The retrained pipeline protects against its own attacks.
+	res, err := p2.Protect(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, piece := range res.Pieces {
+		if hit, name := p2.ReIdentifies(piece.Trace.WithUser(""), victim.User); hit {
+			t.Fatalf("retrained pipeline published a piece %s re-identifies", name)
+		}
+	}
+
+	// The original pipeline is unaffected: same config, same background,
+	// bit-identical output.
+	after, err := p1.Protect(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("original pipeline changed after Retrain")
+	}
+
+	// Retrain is equivalent to building a fresh pipeline on the new
+	// background with the same options.
+	fresh, err := mood.NewPipeline(test.Traces, mood.WithSeed(105))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p2.Protect(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Protect(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Retrain diverged from an equivalent fresh pipeline")
+	}
+}
+
+func TestPipelineRetrainErrors(t *testing.T) {
+	p, test := env(t, 106)
+	if _, err := p.Retrain(nil); err == nil {
+		t.Fatal("empty background must error")
+	}
+
+	custom, err := mood.NewPipeline(test.Traces, mood.WithAttacks(attack.NewAP()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := custom.Retrain(test.Traces); err == nil {
+		t.Fatal("Retrain with WithAttacks must refuse (it would mutate the serving attack set)")
+	}
+}
