@@ -1,0 +1,223 @@
+// Command moodload runs deterministic workload scenarios against the
+// MooD crowd-sensing middleware and reports whether the service tier's
+// accounting invariants held. It is the operational face of
+// internal/loadgen: the soak harness every scale change is validated
+// against.
+//
+// Usage:
+//
+//	moodload -scenario steady|burst|drift-retrain|restart
+//	         [-seed 7] [-users 8] [-rounds 3] [-workers 0]
+//	         [-engine mood|echo] [-target URL] [-token T] [-out report.json]
+//
+// With no -target, moodload self-hosts the server in-process: the
+// workload's background half trains the real MooD engine (-engine mood,
+// the default) or a pass-through echo engine (-engine echo, for
+// high-rate soaks of the service tier alone). The drift-retrain
+// scenario wires the same retrainer cmd/moodserver uses; the restart
+// scenario snapshots, closes and reboots the server in the middle of a
+// round (self-host only).
+//
+// The report is printed to stdout as JSON and is deterministic for a
+// fixed seed: two runs of the same scenario produce byte-identical
+// reports, so soak results diff cleanly across commits. Progress and
+// transient-retry noise go to stderr. Exit status is 0 only when every
+// invariant checker passed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"mood"
+	"mood/internal/loadgen"
+	"mood/internal/service"
+	"mood/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "moodload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("moodload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "steady", "workload scenario: "+fmt.Sprint(loadgen.ScenarioNames()))
+	seed := fs.Uint64("seed", 7, "workload seed (fixed seed = reproducible report)")
+	users := fs.Int("users", 8, "population size")
+	rounds := fs.Int("rounds", 3, "publication rounds")
+	workers := fs.Int("workers", 0, "client concurrency (0 = scenario default)")
+	engine := fs.String("engine", "mood", "self-hosted protection engine: mood (real pipeline) or echo (pass-through)")
+	target := fs.String("target", "", "drive an external server at this base URL instead of self-hosting")
+	token := fs.String("token", "", "bearer token for the target server")
+	out := fs.String("out", "", "also write the report JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := loadgen.Scenario(*scenario, *seed, *users, *rounds)
+	if err != nil {
+		return err
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	cfg.AuthToken = *token
+
+	w, err := loadgen.Build(cfg)
+	if err != nil {
+		return err
+	}
+
+	baseURL := *target
+	if baseURL == "" {
+		h, err := newSelfHost(cfg, w, *engine)
+		if err != nil {
+			return err
+		}
+		defer h.close()
+		cfg.Restart = h.restart
+		baseURL = h.url
+		fmt.Fprintf(stderr, "moodload: self-hosting %s engine on %s (%d background users)\n",
+			*engine, baseURL, w.Background.NumUsers())
+	} else if cfg.RestartAfterRound > 0 {
+		return fmt.Errorf("the %s scenario restarts the server and needs self-hosting; drop -target", *scenario)
+	}
+
+	rep, err := loadgen.NewDriver(cfg, baseURL, stderr).RunWorkload(w)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := stdout.Write(data); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if !rep.OK {
+		return fmt.Errorf("%d invariant violation(s); see report", len(rep.Violations))
+	}
+	fmt.Fprintln(stderr, "moodload: all invariants green")
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Self-hosted server with restart support.
+
+// selfHost is a loadgen.Host (the shared drain → snapshot → reboot →
+// swap machinery) bound to a real listener and a temp state directory.
+type selfHost struct {
+	url      string
+	hs       *http.Server
+	host     *loadgen.Host
+	stateDir string
+}
+
+func newSelfHost(cfg loadgen.Config, w loadgen.Workload, engine string) (*selfHost, error) {
+	protector, retrainer, err := buildEngine(engine, cfg.Seed, w.Background.Traces)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "moodload-*")
+	if err != nil {
+		return nil, err
+	}
+	host, err := loadgen.NewHost(func() (*service.Server, error) {
+		return service.New(protector,
+			service.WithRetrainer(retrainer, 0),
+			service.WithAuthToken(cfg.AuthToken),
+		)
+	}, filepath.Join(dir, "state.json"))
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		host.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	h := &selfHost{
+		url:      "http://" + ln.Addr().String(),
+		hs:       &http.Server{Handler: host},
+		host:     host,
+		stateDir: dir,
+	}
+	go h.hs.Serve(ln) //nolint:errcheck // closed via h.close
+	return h, nil
+}
+
+// restart is the restart scenario's mid-round callback.
+func (h *selfHost) restart() error { return h.host.Restart() }
+
+func (h *selfHost) close() {
+	h.hs.Close()
+	h.host.Close()
+	os.RemoveAll(h.stateDir)
+}
+
+// buildEngine assembles the self-hosted protection engine.
+func buildEngine(kind string, seed uint64, background []trace.Trace) (service.Protector, service.Retrainer, error) {
+	switch kind {
+	case "mood":
+		pipeline, err := mood.NewPipeline(background, mood.WithSeed(seed))
+		if err != nil {
+			return nil, nil, fmt.Errorf("training the engine: %w", err)
+		}
+		return pipelineProtector{pipeline}, &pipelineRetrainer{base: pipeline, initial: background}, nil
+	case "echo":
+		return loadgen.EchoProtector{Seed: seed}, echoRetrainer{}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q (want mood or echo)", kind)
+	}
+}
+
+// pipelineProtector / pipelineRetrainer mirror cmd/moodserver's
+// adapters: retraining merges the initial background with the
+// accumulated upload history, exactly like the production server.
+type pipelineProtector struct{ p *mood.Pipeline }
+
+func (pp pipelineProtector) Protect(t mood.Trace) (mood.Result, error) { return pp.p.Protect(t) }
+
+type pipelineRetrainer struct {
+	base    *mood.Pipeline
+	initial []mood.Trace
+}
+
+func (rt *pipelineRetrainer) Retrain(history []mood.Trace) (service.Protector, service.Auditor, error) {
+	merged := make([]mood.Trace, 0, len(rt.initial)+len(history))
+	merged = append(merged, rt.initial...)
+	merged = append(merged, history...)
+	bg := mood.NewDataset("background", merged)
+	p, err := rt.base.Retrain(bg.Traces)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pipelineProtector{p}, p, nil
+}
+
+// echoRetrainer keeps the engine and skips the audit — the barrier
+// machinery still runs end to end.
+type echoRetrainer struct{}
+
+func (echoRetrainer) Retrain([]trace.Trace) (service.Protector, service.Auditor, error) {
+	return nil, nil, nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mood/internal/loadgen"
+)
+
+func runLoad(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out, io.Discard)
+	return out.String(), err
+}
+
+// TestEchoSteadyReportReproducible pins the harness contract on the
+// cheap engine: same seed, byte-identical report, zero violations.
+func TestEchoSteadyReportReproducible(t *testing.T) {
+	args := []string{"-scenario", "steady", "-engine", "echo", "-seed", "11", "-users", "6", "-rounds", "2"}
+	out1, err := runLoad(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := runLoad(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Fatalf("reports differ:\n%s\nvs\n%s", out1, out2)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal([]byte(out1), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || len(rep.Violations) != 0 {
+		t.Fatalf("report not green: %+v", rep.Violations)
+	}
+	if rep.Requests.Uploads == 0 {
+		t.Fatalf("empty run: %+v", rep.Requests)
+	}
+}
+
+// TestDriftRetrainRealEngineReproducible is the acceptance drill: the
+// drift+retrain scenario on the real MooD engine must quarantine under
+// drift, keep every invariant green, and produce an identical report on
+// a second run of the same seed.
+func TestDriftRetrainRealEngineReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine scenario")
+	}
+	args := []string{"-scenario", "drift-retrain", "-seed", "7", "-users", "8", "-rounds", "3"}
+	out1, err := runLoad(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := runLoad(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Fatalf("drift-retrain reports differ across runs:\n%s\nvs\n%s", out1, out2)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal([]byte(out1), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("violations: %+v", rep.Violations)
+	}
+	if rep.Stats.Retrains != 3 || len(rep.Retrains) != 3 {
+		t.Fatalf("retrain barriers missing: %+v", rep)
+	}
+	if rep.Stats.QuarantinedTraces == 0 {
+		t.Fatal("drift never quarantined a published fragment")
+	}
+}
+
+// TestRestartScenarioSelfHost runs the snapshot+reboot drill through
+// the CLI path (echo engine for speed).
+func TestRestartScenarioSelfHost(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	out, err := runLoad(t, "-scenario", "restart", "-engine", "echo",
+		"-seed", "3", "-users", "6", "-rounds", "2", "-out", outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("violations: %+v", rep.Violations)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if _, err := runLoad(t, "-scenario", "nope"); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("unknown scenario: %v", err)
+	}
+	if _, err := runLoad(t, "-scenario", "restart", "-target", "http://example.invalid"); err == nil ||
+		!strings.Contains(err.Error(), "self-host") {
+		t.Fatalf("restart with -target: %v", err)
+	}
+	if _, err := runLoad(t, "-engine", "warp"); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("unknown engine: %v", err)
+	}
+}

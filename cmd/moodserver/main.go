@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"mood"
+	"mood/internal/clock"
 	"mood/internal/service"
 )
 
@@ -94,7 +95,12 @@ func runCtx(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	// One clock feeds every time-dependent layer (rate limiter,
+	// idempotency TTL, retrain ticker, snapshot loop), so an embedder
+	// swapping in a clock.Manual steps the whole server coherently.
+	clk := clock.System()
 	srv, err := service.New(pipelineProtector{pipeline},
+		service.WithClock(clk),
 		service.WithRateLimit(*rate, *burst),
 		service.WithQueueDepth(*queue),
 		service.WithWorkers(*workers),
@@ -123,7 +129,7 @@ func runCtx(ctx context.Context, args []string) error {
 		snapshotDone = make(chan struct{})
 		go func() {
 			defer close(snapshotDone)
-			snapshotLoop(ctx, srv, *statePath)
+			snapshotLoop(ctx, clk, srv, *statePath)
 		}()
 	}
 
@@ -185,12 +191,12 @@ func writeTimeout(reqTimeout time.Duration) time.Duration {
 
 // snapshotLoop saves the server state once a minute until the context
 // ends (the final flush on shutdown is handled by runCtx).
-func snapshotLoop(ctx context.Context, srv *service.Server, path string) {
-	ticker := time.NewTicker(time.Minute)
+func snapshotLoop(ctx context.Context, clk clock.Clock, srv *service.Server, path string) {
+	ticker := clk.NewTicker(time.Minute)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-ticker.C:
+		case <-ticker.C():
 			if err := srv.SaveState(path); err != nil {
 				log.Printf("moodserver: snapshot failed: %v", err)
 			}

@@ -1,0 +1,204 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Unix(1_700_000_000, 0).UTC()
+
+func TestSystemClockDelegates(t *testing.T) {
+	c := System()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) || time.Since(now) > time.Minute {
+		t.Fatalf("system Now = %v", now)
+	}
+	if d := c.Since(before); d < 0 {
+		t.Fatalf("Since went backwards: %v", d)
+	}
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) never fired")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(time.Second):
+		t.Fatal("system ticker never ticked")
+	}
+}
+
+func TestManualNowAdvanceSet(t *testing.T) {
+	m := NewManual(epoch)
+	if !m.Now().Equal(epoch) {
+		t.Fatalf("Now = %v", m.Now())
+	}
+	m.Advance(90 * time.Second)
+	if got := m.Since(epoch); got != 90*time.Second {
+		t.Fatalf("Since = %v", got)
+	}
+	m.Advance(-time.Hour) // no-op
+	if got := m.Since(epoch); got != 90*time.Second {
+		t.Fatalf("negative Advance moved time: %v", got)
+	}
+	m.Set(epoch.Add(time.Hour))
+	if got := m.Since(epoch); got != time.Hour {
+		t.Fatalf("Set = %v", got)
+	}
+	m.Set(epoch) // backwards: no-op
+	if got := m.Since(epoch); got != time.Hour {
+		t.Fatalf("Set went backwards: %v", got)
+	}
+}
+
+func TestManualAfterFiresAtScheduledTime(t *testing.T) {
+	m := NewManual(epoch)
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired before Advance")
+	default:
+	}
+	m.Advance(30 * time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(epoch.Add(10 * time.Second)) {
+			t.Fatalf("fired at %v, want +10s", at)
+		}
+	default:
+		t.Fatal("never fired")
+	}
+	// One-shot waiters unregister after firing.
+	if n := m.Waiters(); n != 0 {
+		t.Fatalf("waiters = %d after fire", n)
+	}
+}
+
+func TestManualAfterNonPositiveFiresImmediately(t *testing.T) {
+	m := NewManual(epoch)
+	select {
+	case <-m.After(0):
+	default:
+		t.Fatal("After(0) must be ready")
+	}
+	m.Sleep(0)
+	m.Sleep(-time.Second) // must not block
+}
+
+func TestManualTickerSequence(t *testing.T) {
+	m := NewManual(epoch)
+	tk := m.NewTicker(10 * time.Second)
+	defer tk.Stop()
+
+	// Each tick is observed at its own timestamp when the receiver
+	// keeps up step by step.
+	for i := 1; i <= 3; i++ {
+		m.Advance(10 * time.Second)
+		select {
+		case at := <-tk.C():
+			want := epoch.Add(time.Duration(i) * 10 * time.Second)
+			if !at.Equal(want) {
+				t.Fatalf("tick %d at %v, want %v", i, at, want)
+			}
+		default:
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+
+	// A large step over a slow receiver drops ticks instead of queueing
+	// them (channel capacity 1), like time.Ticker.
+	m.Advance(50 * time.Second)
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("slow receiver got %d buffered ticks, want 1", n)
+	}
+}
+
+func TestManualTickerStop(t *testing.T) {
+	m := NewManual(epoch)
+	tk := m.NewTicker(time.Second)
+	tk.Stop()
+	if n := m.Waiters(); n != 0 {
+		t.Fatalf("waiters after Stop = %d", n)
+	}
+	m.Advance(time.Minute)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker ticked")
+	default:
+	}
+}
+
+func TestManualFiresInTimestampOrder(t *testing.T) {
+	m := NewManual(epoch)
+	late := m.After(30 * time.Second)
+	early := m.After(10 * time.Second)
+	m.Advance(time.Minute)
+	at1 := <-early
+	at2 := <-late
+	if !at1.Before(at2) {
+		t.Fatalf("fired out of order: %v then %v", at1, at2)
+	}
+}
+
+func TestManualSleepBlocksUntilAdvanced(t *testing.T) {
+	m := NewManual(epoch)
+	done := make(chan time.Time)
+	go func() {
+		m.Sleep(5 * time.Second)
+		done <- m.Now()
+	}()
+	m.BlockUntil(1) // the sleeper registered its timer
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	m.Advance(5 * time.Second)
+	select {
+	case at := <-done:
+		if at.Before(epoch.Add(5 * time.Second)) {
+			t.Fatalf("woke at %v", at)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep never woke")
+	}
+}
+
+func TestManualBlockUntilSeesExistingWaiters(t *testing.T) {
+	m := NewManual(epoch)
+	tk := m.NewTicker(time.Second)
+	defer tk.Stop()
+	m.BlockUntil(1) // must not block: the ticker is already registered
+}
+
+func TestManualConcurrentUse(t *testing.T) {
+	m := NewManual(epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Sleep(time.Duration(1+i%4) * time.Second)
+		}()
+	}
+	m.BlockUntil(8)
+	m.Advance(10 * time.Second)
+	wg.Wait()
+	if n := m.Waiters(); n != 0 {
+		t.Fatalf("waiters leaked: %d", n)
+	}
+}

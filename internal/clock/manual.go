@@ -1,0 +1,187 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Manual is a steppable Clock for deterministic tests: time only moves
+// when Advance (or Set) is called. Due timers and tickers fire in
+// timestamp order as virtual time passes over them, with the time they
+// were scheduled for (not the step target), so a 30 s Advance over a
+// 10 s ticker observes ticks at +10 s, +20 s, +30 s.
+//
+// Like the real time package, tick delivery is lossy: each ticker and
+// timer channel has capacity 1 and a tick that finds the buffer full is
+// dropped. Goroutines woken by a tick run concurrently with the code
+// that called Advance; use BlockUntil to rendezvous with code that is
+// about to register a waiter, and channels or counters to rendezvous
+// with code consuming ticks.
+type Manual struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when the waiter set changes
+	now     time.Time
+	waiters []*manualWaiter
+}
+
+// manualWaiter is one registered timer (period 0) or ticker.
+type manualWaiter struct {
+	at     time.Time
+	period time.Duration
+	ch     chan time.Time
+}
+
+// NewManual returns a Manual clock reading start.
+func NewManual(start time.Time) *Manual {
+	m := &Manual{now: start}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Now returns the current virtual time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since returns Now().Sub(t).
+func (m *Manual) Since(t time.Time) time.Duration { return m.Now().Sub(t) }
+
+// Advance moves virtual time forward by d, firing due waiters in
+// timestamp order. A non-positive d is a no-op.
+func (m *Manual) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advanceTo(m.now.Add(d))
+}
+
+// Set jumps virtual time to t (no-op when t is not after Now), firing
+// everything due on the way.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advanceTo(t)
+}
+
+// advanceTo fires waiters due up to target and settles time there.
+// Callers hold m.mu.
+func (m *Manual) advanceTo(target time.Time) {
+	for {
+		w := m.nextDue(target)
+		if w == nil {
+			break
+		}
+		m.now = w.at
+		select {
+		case w.ch <- w.at:
+		default: // receiver is behind: drop the tick, like time.Ticker
+		}
+		if w.period > 0 {
+			w.at = w.at.Add(w.period)
+		} else {
+			m.remove(w)
+		}
+	}
+	if target.After(m.now) {
+		m.now = target
+	}
+}
+
+// nextDue returns the earliest waiter scheduled at or before target
+// (ties broken by registration order), or nil.
+func (m *Manual) nextDue(target time.Time) *manualWaiter {
+	var best *manualWaiter
+	for _, w := range m.waiters {
+		if w.at.After(target) {
+			continue
+		}
+		if best == nil || w.at.Before(best.at) {
+			best = w
+		}
+	}
+	return best
+}
+
+// register adds a waiter and wakes BlockUntil callers.
+func (m *Manual) register(at time.Time, period time.Duration) *manualWaiter {
+	w := &manualWaiter{at: at, period: period, ch: make(chan time.Time, 1)}
+	m.waiters = append(m.waiters, w)
+	m.cond.Broadcast()
+	return w
+}
+
+// remove drops a waiter. Callers hold m.mu.
+func (m *Manual) remove(w *manualWaiter) {
+	for i, x := range m.waiters {
+		if x == w {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			m.cond.Broadcast()
+			return
+		}
+	}
+}
+
+// BlockUntil blocks until at least n waiters (tickers plus pending
+// timers and sleeps) are registered. Tests use it to let the code under
+// test reach its timing loop before stepping the clock.
+func (m *Manual) BlockUntil(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.waiters) < n {
+		m.cond.Wait()
+	}
+}
+
+// Waiters reports how many tickers, timers and sleeps are registered.
+func (m *Manual) Waiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}
+
+// After returns a channel delivering the virtual time once, d from now.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		ch := make(chan time.Time, 1)
+		ch <- m.now
+		return ch
+	}
+	return m.register(m.now.Add(d), 0).ch
+}
+
+// Sleep blocks until another goroutine advances the clock past d.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// NewTicker returns a ticker firing every d of virtual time.
+func (m *Manual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive Ticker period")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &manualTicker{m: m, w: m.register(m.now.Add(d), d)}
+}
+
+type manualTicker struct {
+	m *Manual
+	w *manualWaiter
+}
+
+func (t *manualTicker) C() <-chan time.Time { return t.w.ch }
+
+func (t *manualTicker) Stop() {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	t.m.remove(t.w)
+}

@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"mood/internal/service"
+)
+
+// Violation is one failed invariant. An empty Violations list in the
+// Report is the harness's definition of a healthy run.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// checkInvariants audits the server's final state against the client's
+// own accounting. The checks encode the service tier's conservation
+// laws:
+//
+//   - delivery:    every accepted upload is counted exactly once —
+//     client-side accepted == server-side Uploads/RecordsIn (the
+//     at-least-once pipeline plus idempotency keys must net out to
+//     exactly-once).
+//   - records:     RecordsIn == RecordsPublished + RecordsRejected —
+//     a record is committed or erased, never lost or duplicated.
+//   - sharding:    the per-user counters sum exactly to the global
+//     stats (the sharded state never tears an upload across views).
+//   - quarantine:  pieces − quarantined pieces == published traces,
+//     and the quarantine counters match across views — nothing stays
+//     published past its quarantine.
+//   - dataset:     the published dataset has exactly PublishedTraces
+//     fragments and never exposes a raw uploader ID.
+//   - sanity:      no counter is ever negative.
+//
+// Per-user and dataset-shape checks need a server whose entire state
+// came from this run; they are skipped (with a log line upstream) when
+// the target had prior state.
+func (d *Driver) checkInvariants(users []string, tally RequestTally, fresh bool) []Violation {
+	var out []Violation
+	add := func(inv, format string, args ...any) {
+		out = append(out, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	stats, err := d.client.Stats()
+	if err != nil {
+		add("stats-endpoint", "final stats fetch failed: %v", err)
+		return out
+	}
+
+	if err := nonNegative(stats); err != nil {
+		add("non-negative", "%v", err)
+	}
+	if stats.RecordsIn != stats.RecordsPublished+stats.RecordsRejected {
+		add("records-conservation", "records_in %d != published %d + rejected %d",
+			stats.RecordsIn, stats.RecordsPublished, stats.RecordsRejected)
+	}
+	if stats.RecordsQuarantined > 0 && stats.QuarantinedTraces == 0 {
+		add("quarantine-accounting", "quarantined records %d with zero quarantined traces", stats.RecordsQuarantined)
+	}
+
+	if !fresh {
+		return out
+	}
+
+	if stats.Uploads != tally.Uploads {
+		add("delivery-exactly-once", "server saw %d uploads, client had %d accepted", stats.Uploads, tally.Uploads)
+	}
+	if stats.RecordsIn != tally.Records {
+		add("delivery-exactly-once", "server saw %d records, client sent %d in accepted uploads", stats.RecordsIn, tally.Records)
+	}
+	if stats.Users != len(users) {
+		add("delivery-exactly-once", "server saw %d users, workload had %d", stats.Users, len(users))
+	}
+
+	// Per-user accounting must sum exactly to the global view.
+	var sum service.ServerStats
+	var pieces, piecesQuarantined int
+	sort.Strings(users)
+	for _, u := range users {
+		us, err := d.client.UserStats(u)
+		if err != nil {
+			add("user-endpoint", "user %s: %v", u, err)
+			continue
+		}
+		if us.Uploads < 0 || us.RecordsIn < 0 || us.RecordsPublished < 0 || us.RecordsRejected < 0 ||
+			us.RecordsQuarantined < 0 || us.Pieces < 0 || us.PiecesQuarantined < 0 {
+			add("non-negative", "user %s has a negative counter: %+v", u, us)
+		}
+		if us.RecordsIn != us.RecordsPublished+us.RecordsRejected {
+			add("records-conservation", "user %s: records_in %d != published %d + rejected %d",
+				u, us.RecordsIn, us.RecordsPublished, us.RecordsRejected)
+		}
+		sum.Uploads += us.Uploads
+		sum.RecordsIn += us.RecordsIn
+		sum.RecordsPublished += us.RecordsPublished
+		sum.RecordsRejected += us.RecordsRejected
+		sum.RecordsQuarantined += us.RecordsQuarantined
+		pieces += us.Pieces
+		piecesQuarantined += us.PiecesQuarantined
+	}
+	if sum.Uploads != stats.Uploads || sum.RecordsIn != stats.RecordsIn ||
+		sum.RecordsPublished != stats.RecordsPublished || sum.RecordsRejected != stats.RecordsRejected ||
+		sum.RecordsQuarantined != stats.RecordsQuarantined {
+		add("shard-aggregation", "per-user sums %+v disagree with global stats %+v", sum, stats)
+	}
+	if piecesQuarantined != stats.QuarantinedTraces {
+		add("quarantine-accounting", "per-user quarantined pieces %d != global quarantined traces %d",
+			piecesQuarantined, stats.QuarantinedTraces)
+	}
+	if pieces-piecesQuarantined != stats.PublishedTraces {
+		add("quarantine-accounting", "pieces %d - quarantined %d != published traces %d",
+			pieces, piecesQuarantined, stats.PublishedTraces)
+	}
+
+	// The dataset endpoint must agree with the accounting and never
+	// expose a raw uploader ID.
+	ds, err := d.client.Dataset()
+	if err != nil {
+		add("dataset-endpoint", "dataset fetch failed: %v", err)
+		return out
+	}
+	// The dataset endpoint assembles fragments through NewDataset, which
+	// merges fragments sharing a pseudonym (the engine reuses a user's
+	// per-piece pseudonyms across uploads by design), so the JSON view
+	// can hold fewer entries than PublishedTraces — but never more, and
+	// never zero while fragments are published.
+	switch {
+	case ds.NumUsers() > stats.PublishedTraces:
+		add("dataset-shape", "dataset has %d fragments, stats say only %d published", ds.NumUsers(), stats.PublishedTraces)
+	case ds.NumUsers() == 0 && stats.PublishedTraces > 0:
+		add("dataset-shape", "dataset empty while stats say %d published", stats.PublishedTraces)
+	}
+	raw := make(map[string]bool, len(users))
+	for _, u := range users {
+		raw[u] = true
+	}
+	for _, tr := range ds.Traces {
+		if raw[tr.User] {
+			add("pseudonymisation", "published fragment carries the raw user ID %q", tr.User)
+			break
+		}
+	}
+	return out
+}
+
+func nonNegative(st service.ServerStats) error {
+	if st.Uploads < 0 || st.Users < 0 || st.RecordsIn < 0 || st.RecordsPublished < 0 ||
+		st.RecordsRejected < 0 || st.RecordsQuarantined < 0 || st.PublishedTraces < 0 ||
+		st.QuarantinedTraces < 0 || st.Retrains < 0 {
+		return fmt.Errorf("negative counter in %+v", st)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Invalid-request ops.
+
+// numInvalidVariants is the size of the malformed-request rotation.
+const numInvalidVariants = 5
+
+// runInvalid sends one deliberately malformed request and checks the
+// server rejects it with a 4xx — and, because the final accounting is
+// verified against only the *valid* uploads, that rejected garbage
+// never leaks into the published state.
+func (d *Driver) runInvalid(o op) opResult {
+	var res opResult
+	url := d.client.BaseURL + "/v1/upload"
+	var body string
+	header := map[string]string{}
+	switch o.variant {
+	case 0: // undecodable JSON
+		body = `{nope`
+	case 1: // no records
+		body = fmt.Sprintf(`{"user":%q,"records":[]}`, o.user)
+	case 2: // user ID that cannot round-trip through /v1/users/{id}
+		body = `{"user":"bad/user","records":[{"lat":45,"lon":4,"ts":1}]}`
+	case 3: // unparseable async selector
+		url += "?async=nope"
+		body = fmt.Sprintf(`{"user":%q,"records":[{"lat":45,"lon":4,"ts":1}]}`, o.user)
+	default: // oversized idempotency key
+		body = fmt.Sprintf(`{"user":%q,"records":[{"lat":45,"lon":4,"ts":1}]}`, o.user)
+		header[service.IdempotencyKeyHeader] = strings.Repeat("k", 201)
+	}
+
+	for attempt := 0; attempt < maxTransientAttempts; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
+		if err != nil {
+			res.violations = append(res.violations, Violation{Invariant: "harness", Detail: err.Error()})
+			return res
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range header {
+			req.Header.Set(k, v)
+		}
+		if d.cfg.AuthToken != "" {
+			req.Header.Set("Authorization", "Bearer "+d.cfg.AuthToken)
+		}
+		resp, err := d.httpClient().Do(req)
+		if err != nil {
+			d.backoff(attempt)
+			continue
+		}
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			d.backoff(attempt)
+			continue
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			res.tally.Invalid++
+			return res
+		default:
+			res.violations = append(res.violations, Violation{
+				Invariant: "invalid-rejected",
+				Detail:    fmt.Sprintf("malformed request (variant %d) answered %d", o.variant, resp.StatusCode),
+			})
+			return res
+		}
+	}
+	res.violations = append(res.violations, Violation{
+		Invariant: "invalid-rejected",
+		Detail:    fmt.Sprintf("malformed request (variant %d) still shed after %d attempts", o.variant, maxTransientAttempts),
+	})
+	return res
+}

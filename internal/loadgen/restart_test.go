@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"net/http/httptest"
+
+	"mood/internal/service"
+)
+
+// TestRestartUnderLoadKeepsInvariants is the restart drill from the
+// PR 3 recovery test, but with concurrent traffic: a loadgen scenario
+// runs while the server is snapshotted, closed and rebooted from the
+// snapshot in the middle of a round (via the shared Host machinery
+// cmd/moodload also uses). The driver's keyed retries must absorb the
+// outage, and the final accounting must satisfy every invariant —
+// exactly-once delivery, record conservation, per-user aggregation,
+// dataset shape — as if the restart never happened.
+func TestRestartUnderLoadKeepsInvariants(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	host, err := NewHost(func() (*service.Server, error) {
+		return service.New(EchoProtector{})
+	}, statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { host.Close() })
+	hs := httptest.NewServer(host)
+	t.Cleanup(hs.Close)
+
+	restarted := false
+	cfg, err := Scenario("restart", 21, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := host.Current()
+	cfg.Restart = func() error {
+		if err := host.Restart(); err != nil {
+			return err
+		}
+		restarted = true
+		return nil
+	}
+
+	rep, err := Run(cfg, hs.URL, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restarted {
+		t.Fatal("restart callback never ran")
+	}
+	if host.Current() == first {
+		t.Fatal("restart did not replace the server")
+	}
+	if !rep.OK {
+		t.Fatalf("invariants broken across the restart: %+v", rep.Violations)
+	}
+	if rep.Requests.Uploads == 0 || rep.Requests.Replays == 0 {
+		t.Fatalf("degenerate run: %+v", rep.Requests)
+	}
+
+	// The PR 3 recovery invariants under concurrent traffic: the final
+	// server state must round-trip through one more snapshot unchanged.
+	final := host.Current()
+	if err := final.SaveState(statePath); err != nil {
+		t.Fatal(err)
+	}
+	reborn, err := service.New(EchoProtector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reborn.Close() })
+	if err := reborn.LoadState(statePath); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reborn.Stats(), final.Stats(); got != want {
+		t.Fatalf("stats changed across final snapshot:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := len(reborn.Users()), len(final.Users()); got != want {
+		t.Fatalf("users changed across final snapshot: %d vs %d", got, want)
+	}
+}

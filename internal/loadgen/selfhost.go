@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"mood/internal/core"
+	"mood/internal/mathx"
+	"mood/internal/service"
+	"mood/internal/trace"
+)
+
+// Host runs a service.Server behind one stable http.Handler whose
+// backend can be torn down and rebooted from its snapshot — the
+// in-process shape of "the process restarted behind the load
+// balancer". It is the restart scenario's Restart callback, shared by
+// cmd/moodload and the restart-under-load e2e test so the
+// drain → snapshot → reboot → swap sequence exists exactly once.
+type Host struct {
+	mk        func() (*service.Server, error)
+	statePath string
+	handler   atomic.Value // http.Handler
+
+	mu      sync.Mutex
+	current *service.Server
+}
+
+// NewHost boots the first server via mk. statePath is where Restart
+// snapshots and restores state.
+func NewHost(mk func() (*service.Server, error), statePath string) (*Host, error) {
+	srv, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{mk: mk, statePath: statePath, current: srv}
+	h.handler.Store(srv.Handler())
+	return h, nil
+}
+
+// ServeHTTP dispatches to the current backend; during a restart it
+// answers 503 + Retry-After, which the loadgen driver (and any
+// well-behaved client) retries.
+func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.handler.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// Current returns the live server (for final assertions; the pointer
+// changes across Restart).
+func (h *Host) Current() *service.Server {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.current
+}
+
+// Restart drains and snapshots the live server, boots a replacement
+// from the snapshot and swaps it in. New arrivals shed retryably while
+// the backend is down; requests already inside the old handler drain
+// through its worker pool, so the snapshot holds every accepted upload
+// and its completed idempotency entry.
+func (h *Host) Restart() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"restarting"}`)
+	}))
+	old := h.current
+	if err := old.Close(); err != nil {
+		return err
+	}
+	if err := old.SaveState(h.statePath); err != nil {
+		return err
+	}
+	next, err := h.mk()
+	if err != nil {
+		return err
+	}
+	if err := next.LoadState(h.statePath); err != nil {
+		next.Close()
+		return err
+	}
+	h.current = next
+	h.handler.Store(next.Handler())
+	return nil
+}
+
+// Close shuts the live server down.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.current.Close()
+}
+
+// EchoProtector admits every upload as one fragment under a
+// deterministic pseudonym — the pass-through engine for service-tier
+// soaks: it exercises queues, shards, idempotency and audit plumbing
+// without paying for protection search, and keeps reports reproducible
+// across restarts (no in-memory counters to reset).
+type EchoProtector struct{ Seed uint64 }
+
+// Protect implements service.Protector.
+func (p EchoProtector) Protect(t trace.Trace) (core.Result, error) {
+	label := mathx.DeriveSeed(p.Seed, "loadgen-echo", t.User,
+		fmt.Sprint(t.Start()), fmt.Sprint(t.Len()))
+	return core.Result{
+		User:         t.User,
+		TotalRecords: t.Len(),
+		Pieces: []core.Piece{{
+			Trace:         t.WithUser(fmt.Sprintf("anon-%x", label)),
+			Mechanism:     "echo",
+			SourceRecords: t.Len(),
+		}},
+	}, nil
+}

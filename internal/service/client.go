@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"mood/internal/clock"
 	"mood/internal/trace"
 )
 
@@ -19,6 +20,9 @@ type Client struct {
 	// HTTPClient defaults to a client with a 60 s timeout (protection
 	// is CPU-heavy server-side).
 	HTTPClient *http.Client
+	// Clock drives the WaitJob poll loop (deadline and backoff);
+	// defaults to the system clock.
+	Clock clock.Clock
 
 	authToken string
 }
@@ -36,6 +40,13 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+func (c *Client) clock() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.System()
 }
 
 // do issues a request with the configured auth header.
@@ -127,7 +138,8 @@ func (c *Client) Job(id string) (JobStatus, error) {
 // expires. A failed job is returned with a nil error: the failure is in
 // JobStatus.Error.
 func (c *Client) WaitJob(id string, timeout time.Duration) (JobStatus, error) {
-	deadline := time.Now().Add(timeout)
+	clk := c.clock()
+	deadline := clk.Now().Add(timeout)
 	for {
 		j, err := c.Job(id)
 		if err != nil {
@@ -136,10 +148,10 @@ func (c *Client) WaitJob(id string, timeout time.Duration) (JobStatus, error) {
 		if j.State == JobDone || j.State == JobFailed {
 			return j, nil
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return j, fmt.Errorf("service: job %s still %s after %v", id, j.State, timeout)
 		}
-		time.Sleep(20 * time.Millisecond)
+		clk.Sleep(20 * time.Millisecond)
 	}
 }
 
@@ -246,11 +258,26 @@ func (c *Client) UserStats(user string) (UserStats, error) {
 	return us, nil
 }
 
+// StatusError is the typed form of a non-2xx API reply, so callers can
+// branch on the status code (errors.As) instead of matching error text.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("service: server returned %d: %s", e.Code, e.Msg)
+	}
+	return fmt.Sprintf("service: server returned %d", e.Code)
+}
+
 func decodeError(resp *http.Response) error {
 	var ae apiError
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	se := &StatusError{Code: resp.StatusCode}
 	if err := json.Unmarshal(body, &ae); err == nil && ae.Error != "" {
-		return fmt.Errorf("service: server returned %d: %s", resp.StatusCode, ae.Error)
+		se.Msg = ae.Error
 	}
-	return fmt.Errorf("service: server returned %d", resp.StatusCode)
+	return se
 }

@@ -7,7 +7,9 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"time"
 
+	"mood/internal/clock"
 	"mood/internal/trace"
 )
 
@@ -61,6 +63,9 @@ type idemEntry struct {
 	resp      UploadResponse
 	err       error
 	completed bool
+	// doneAt stamps completion on the store's clock; the TTL sweep
+	// expires completed entries by age. Zero while pending.
+	doneAt time.Time
 }
 
 // uploadFingerprint hashes the upload's identity-relevant content (user
@@ -79,19 +84,29 @@ func uploadFingerprint(t trace.Trace) uint64 {
 	return h.Sum64()
 }
 
-// idemStore is the bounded dedupe window.
+// idemStore is the bounded dedupe window. Entries are evicted by count
+// (oldest completed first, always) and additionally by age when a TTL
+// is configured: a completed entry older than the TTL is forgotten, so
+// a retry under its key re-executes — the dedupe promise is explicitly
+// time-bounded, like Stripe-style idempotency windows.
 type idemStore struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]*idemEntry
-	order   []string // insertion order, for eviction
+	mu        sync.Mutex
+	cap       int
+	ttl       time.Duration // 0 = count-only eviction
+	clk       clock.Clock
+	entries   map[string]*idemEntry
+	order     []string  // insertion order, for eviction
+	lastSweep time.Time // last full TTL sweep (see sweepExpiredLocked)
 }
 
-func newIdemStore(capacity int) *idemStore {
+func newIdemStore(capacity int, ttl time.Duration, clk clock.Clock) *idemStore {
 	if capacity <= 0 {
 		capacity = DefaultIdempotencyWindow
 	}
-	return &idemStore{cap: capacity, entries: make(map[string]*idemEntry)}
+	if clk == nil {
+		clk = clock.System()
+	}
+	return &idemStore{cap: capacity, ttl: ttl, clk: clk, entries: make(map[string]*idemEntry)}
 }
 
 // idemKey scopes a client key to its user. The user ID is
@@ -108,8 +123,15 @@ func (st *idemStore) begin(user, key string, fp uint64) (*idemEntry, bool) {
 	k := idemKey(user, key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.sweepExpiredLocked()
 	if e, ok := st.entries[k]; ok {
-		return e, false
+		if !st.expiredLocked(e) {
+			return e, false
+		}
+		// The TTL semantics are exact at lookup time, whatever the
+		// sweep cadence: a stale key is forgotten here and the caller
+		// gets a fresh entry (the retry re-executes).
+		delete(st.entries, k)
 	}
 	e := &idemEntry{fp: fp, done: make(chan struct{})}
 	st.entries[k] = e
@@ -142,6 +164,7 @@ func (st *idemStore) complete(user, key string, e *idemEntry, resp UploadRespons
 		return
 	}
 	e.resp, e.err, e.completed = resp, err, true
+	e.doneAt = st.clk.Now()
 	close(e.done)
 	if err != nil {
 		k := idemKey(user, key)
@@ -151,6 +174,45 @@ func (st *idemStore) complete(user, key string, e *idemEntry, resp UploadRespons
 		// Failures release map entries without going through eviction, so
 		// order is compacted lazily here or it would grow one dead key per
 		// failed upload for the life of the server.
+		st.compactLocked()
+	}
+}
+
+// expiredLocked reports whether an entry's outcome has aged past the
+// TTL. Pending entries never expire (the original is still executing;
+// forgetting it would let a retry double-commit).
+func (st *idemStore) expiredLocked(e *idemEntry) bool {
+	return st.ttl > 0 && e.completed && !e.doneAt.After(st.clk.Now().Add(-st.ttl))
+}
+
+// sweepExpiredLocked reclaims the memory of expired entries. The full
+// scan is rate-limited to once per quarter-TTL — replay correctness
+// never depends on it (begin checks each looked-up entry exactly), so
+// a keyed upload pays O(1) for expiry on the hot path instead of an
+// O(window) scan per request. Holders of an expired entry's pointer
+// still read its outcome, exactly as with count eviction.
+func (st *idemStore) sweepExpiredLocked() {
+	if st.ttl <= 0 {
+		return
+	}
+	now := st.clk.Now()
+	interval := st.ttl / 4
+	if interval <= 0 {
+		interval = st.ttl
+	}
+	if now.Sub(st.lastSweep) < interval {
+		return
+	}
+	st.lastSweep = now
+	cutoff := now.Add(-st.ttl)
+	expired := false
+	for k, e := range st.entries {
+		if e.completed && !e.doneAt.After(cutoff) {
+			delete(st.entries, k)
+			expired = true
+		}
+	}
+	if expired {
 		st.compactLocked()
 	}
 }
@@ -213,12 +275,17 @@ func (st *idemStore) restore(entries []persistedIdem) {
 	defer st.mu.Unlock()
 	st.entries = make(map[string]*idemEntry, len(entries))
 	st.order = st.order[:0]
+	now := st.clk.Now()
 	for _, pe := range entries {
 		if _, dup := st.entries[pe.Key]; dup {
 			continue
 		}
+		// Restored entries restart their TTL at load time: snapshots do
+		// not carry completion stamps, and the conservative reading —
+		// keep honouring the dedupe for a full window after the restart —
+		// errs on the side of not double-committing.
 		e := &idemEntry{fp: pe.FP, jobID: pe.JobID, done: make(chan struct{}),
-			resp: pe.Resp, completed: true}
+			resp: pe.Resp, completed: true, doneAt: now}
 		close(e.done)
 		st.entries[pe.Key] = e
 		st.order = append(st.order, pe.Key)

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"mood/internal/clock"
 	"mood/internal/core"
 	"mood/internal/trace"
 )
@@ -105,8 +106,9 @@ func TestIdempotencyScopedPerUser(t *testing.T) {
 }
 
 // slowProtector blocks until released, so tests can park an upload
-// in-flight.
+// in-flight; entered signals each call reaching the protector.
 type slowProtector struct {
+	entered chan struct{}
 	release chan struct{}
 	mu      sync.Mutex
 	calls   int
@@ -116,6 +118,9 @@ func (p *slowProtector) Protect(tr trace.Trace) (core.Result, error) {
 	p.mu.Lock()
 	p.calls++
 	p.mu.Unlock()
+	if p.entered != nil {
+		p.entered <- struct{}{}
+	}
 	<-p.release
 	return core.Result{
 		User:         tr.User,
@@ -132,7 +137,7 @@ func (p *slowProtector) Protect(tr trace.Trace) (core.Result, error) {
 // sync request is cancelled while its job is still running; the keyed
 // retry must wait for the original outcome and commit exactly once.
 func TestIdempotencyRetryAfterTimeout(t *testing.T) {
-	sp := &slowProtector{release: make(chan struct{})}
+	sp := &slowProtector{entered: make(chan struct{}, 1), release: make(chan struct{})}
 	srv, err := New(sp)
 	if err != nil {
 		t.Fatal(err)
@@ -145,23 +150,35 @@ func TestIdempotencyRetryAfterTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	// The first request is cancelled only once its job provably reached
+	// the protector, so the cancellation always races a live upload —
+	// deterministic, where the historical 150 ms wall-clock timeout was
+	// a guess.
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/v1/upload", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	req.Header.Set(IdempotencyKeyHeader, "carol-day-1")
-	if _, err := hs.Client().Do(req); err == nil {
-		t.Fatal("expected the first request to fail on context timeout")
+	firstErr := make(chan error, 1)
+	go func() {
+		_, err := hs.Client().Do(req)
+		firstErr <- err
+	}()
+	select {
+	case <-sp.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("upload never reached the protector")
+	}
+	cancel()
+	if err := <-firstErr; err == nil {
+		t.Fatal("expected the first request to fail on context cancellation")
 	}
 
-	// Retry while the original is still in flight, releasing it shortly
-	// after: the retry must attach to the original, not enqueue again.
-	go func() {
-		time.Sleep(100 * time.Millisecond)
-		close(sp.release)
-	}()
+	// Retry while the original is still in flight, then release it: the
+	// retry must attach to the original, not enqueue again.
+	close(sp.release)
 	r2, u2 := idemUpload(t, hs, "carol", "carol-day-1", 20)
 	if r2.StatusCode != http.StatusOK {
 		t.Fatalf("retry: %d", r2.StatusCode)
@@ -215,19 +232,28 @@ func TestIdempotencyAsyncReplay(t *testing.T) {
 	if j1.ID != j2.ID {
 		t.Fatalf("replay created a new job: %s vs %s", j1.ID, j2.ID)
 	}
-	// Wait for completion; the chunk must be committed once.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if st := srv.Stats(); st.Uploads == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job never committed: %+v", srv.Stats())
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	// Join the job through its idempotency entry (completed only after
+	// the commit) instead of sleep-polling the stats.
+	waitIdemDone(t, srv, "dave", "dave-day-1", sampleRecords(15))
 	if st := srv.Stats(); st.Uploads != 1 || st.RecordsIn != 15 {
 		t.Fatalf("async replay committed twice: %+v", st)
+	}
+}
+
+// waitIdemDone blocks until the (user, key) idempotency entry reports
+// its outcome — a deterministic join on an async upload's commit, with
+// no wall-clock polling. The records must match the original upload
+// (begin checks the payload fingerprint).
+func waitIdemDone(t *testing.T, srv *Server, user, key string, records []trace.Record) {
+	t.Helper()
+	e, isNew := srv.idem.begin(user, key, uploadFingerprint(trace.New(user, records)))
+	if isNew {
+		t.Fatalf("idempotency entry for (%s, %s) was never created", user, key)
+	}
+	select {
+	case <-e.done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("upload (%s, %s) never completed", user, key)
 	}
 }
 
@@ -275,7 +301,7 @@ func TestIdempotencyKeyTooLong(t *testing.T) {
 // TestIdemStoreEviction: the dedupe window stays bounded and evicts
 // oldest-completed first.
 func TestIdemStoreEviction(t *testing.T) {
-	st := newIdemStore(4)
+	st := newIdemStore(4, 0, nil)
 	var first *idemEntry
 	for i := 0; i < 8; i++ {
 		user := fmt.Sprintf("u%d", i)
@@ -307,7 +333,7 @@ func TestIdemStoreEviction(t *testing.T) {
 // TestIdemStorePendingNeverEvicted: pending entries must survive even a
 // tiny window, or a retry could re-execute an in-flight upload.
 func TestIdemStorePendingNeverEvicted(t *testing.T) {
-	st := newIdemStore(2)
+	st := newIdemStore(2, 0, nil)
 	for i := 0; i < 6; i++ {
 		if _, isNew := st.begin(fmt.Sprintf("u%d", i), "k", 0); !isNew {
 			t.Fatalf("entry %d not new", i)
@@ -323,7 +349,7 @@ func TestIdemStorePendingNeverEvicted(t *testing.T) {
 // TestIdemStoreFailureCompactsOrder: repeated failures release their map
 // entries and must not leave the order slice growing without bound.
 func TestIdemStoreFailureCompactsOrder(t *testing.T) {
-	st := newIdemStore(64)
+	st := newIdemStore(64, 0, nil)
 	for i := 0; i < 10000; i++ {
 		user := fmt.Sprintf("u%d", i)
 		e, _ := st.begin(user, "k", 0)
@@ -465,17 +491,9 @@ func TestIdempotencyAsyncReplayAfterJobEviction(t *testing.T) {
 	if c1 != http.StatusAccepted {
 		t.Fatalf("first async: %d", c1)
 	}
-	// Wait for completion, then evict the job handle.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if j, ok := srv.jobs.get(j1.ID); ok && j.State == JobDone {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("job never completed")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	// Join the upload, then evict the job handle. The entry completes
+	// before the job is marked done, and remove tolerates either order.
+	waitIdemDone(t, srv, "hank", "hank-day-1", sampleRecords(12))
 	srv.jobs.remove(j1.ID)
 
 	c2, j2 := post()
@@ -487,5 +505,103 @@ func TestIdempotencyAsyncReplayAfterJobEviction(t *testing.T) {
 	}
 	if st := srv.Stats(); st.Uploads != 1 {
 		t.Fatalf("replay committed again: %+v", st)
+	}
+}
+
+// TestIdemStoreTTLExpiry: with a TTL configured, completed entries age
+// out on the (virtual) clock and their keys become fresh again, while
+// entries inside the window keep replaying.
+func TestIdemStoreTTLExpiry(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	st := newIdemStore(64, time.Hour, clk)
+
+	e, isNew := st.begin("alice", "day-1", 7)
+	if !isNew {
+		t.Fatal("first begin not new")
+	}
+	st.complete("alice", "day-1", e, UploadResponse{Accepted: 3}, nil)
+
+	// Inside the TTL the key replays.
+	clk.Advance(59 * time.Minute)
+	if _, isNew := st.begin("alice", "day-1", 7); isNew {
+		t.Fatal("key expired inside the TTL")
+	}
+	// Past the TTL the key is forgotten: a retry re-executes.
+	clk.Advance(2 * time.Minute)
+	if _, isNew := st.begin("alice", "day-1", 7); !isNew {
+		t.Fatal("key still replaying past the TTL")
+	}
+}
+
+// TestIdemStoreTTLSweepReclaimsMemory: the rate-limited background
+// sweep must reclaim expired entries' memory even for keys that are
+// never looked up again.
+func TestIdemStoreTTLSweepReclaimsMemory(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	st := newIdemStore(4096, time.Hour, clk)
+	for i := 0; i < 100; i++ {
+		user := fmt.Sprintf("u%d", i)
+		e, _ := st.begin(user, "k", 0)
+		st.complete(user, "k", e, UploadResponse{}, nil)
+	}
+	clk.Advance(2 * time.Hour)
+	// An unrelated begin triggers the sweep (last sweep was 2 h ago).
+	st.begin("fresh", "k", 0)
+	st.mu.Lock()
+	n := len(st.entries)
+	st.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("sweep left %d entries, want 1 (the fresh one)", n)
+	}
+}
+
+// TestIdemStoreTTLNeverExpiresPending: a pending entry must survive any
+// amount of virtual time — expiring it would let a retry double-commit
+// an upload that is still executing.
+func TestIdemStoreTTLNeverExpiresPending(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	st := newIdemStore(64, time.Minute, clk)
+	if _, isNew := st.begin("bob", "k", 1); !isNew {
+		t.Fatal("first begin not new")
+	}
+	clk.Advance(24 * time.Hour)
+	if _, isNew := st.begin("bob", "k", 1); isNew {
+		t.Fatal("pending entry expired; the retry would re-execute a live upload")
+	}
+}
+
+// TestIdempotencyTTLEndToEnd drives the TTL through the HTTP handler on
+// a manual clock: a keyed retry inside the window replays; after the
+// window has passed, the same key executes a fresh upload.
+func TestIdempotencyTTLEndToEnd(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1_700_000_000, 0))
+	fp := &fakeProtector{}
+	srv, err := New(fp, WithClock(clk), WithIdempotencyTTL(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	if r, _ := idemUpload(t, hs, "ada", "chunk-1", 9); r.StatusCode != http.StatusOK {
+		t.Fatalf("first upload: %d", r.StatusCode)
+	}
+	clk.Advance(30 * time.Minute)
+	r2, _ := idemUpload(t, hs, "ada", "chunk-1", 9)
+	if r2.StatusCode != http.StatusOK || r2.Header.Get(IdempotencyReplayHeader) != "true" {
+		t.Fatalf("retry inside TTL: %d replay=%q", r2.StatusCode, r2.Header.Get(IdempotencyReplayHeader))
+	}
+	if srv.Stats().Uploads != 1 {
+		t.Fatalf("replay committed: %+v", srv.Stats())
+	}
+
+	clk.Advance(2 * time.Hour)
+	r3, _ := idemUpload(t, hs, "ada", "chunk-1", 9)
+	if r3.StatusCode != http.StatusOK || r3.Header.Get(IdempotencyReplayHeader) == "true" {
+		t.Fatalf("retry past TTL replayed instead of executing: %d", r3.StatusCode)
+	}
+	if fp.calls != 2 || srv.Stats().Uploads != 2 {
+		t.Fatalf("expired key did not re-execute: calls=%d stats=%+v", fp.calls, srv.Stats())
 	}
 }

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mood/internal/clock"
+	"mood/internal/mathx"
+	"mood/internal/trace"
+)
+
+// TestPropertyStatsInvariants is the property-based soak of the
+// accounting: for seeded random interleavings of sync uploads, async
+// uploads, keyed duplicates, invalid requests, engine failures,
+// retrain+quarantine passes and virtual-time jumps (rate-limit refill,
+// idempotency TTL expiry), the /v1/stats counters must always
+//
+//   - satisfy records_in == records_published + records_rejected,
+//   - match a client-side model built from the observed responses
+//     (exactly-once semantics: replays never double-count),
+//   - aggregate exactly from the per-user views (pieces − quarantined
+//     pieces == published traces),
+//   - never go negative.
+//
+// Every operation is drawn from a per-seed rng, so a failure reproduces
+// from its seed alone.
+func TestPropertyStatsInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runStatsInvariantProperty(t, seed)
+		})
+	}
+}
+
+// condemnAuditor condemns (user, pass) pairs pseudo-randomly but
+// deterministically, so successive retrains quarantine different,
+// reproducible subsets.
+type condemnAuditor struct {
+	seed uint64
+	pass int
+}
+
+func (a condemnAuditor) ReIdentifies(tr trace.Trace, user string) (bool, string) {
+	return mathx.DeriveSeed(a.seed, "condemn", user, fmt.Sprint(a.pass))%3 == 0, "condemn"
+}
+
+func runStatsInvariantProperty(t *testing.T, seed uint64) {
+	clk := clock.NewManual(time.Unix(1_700_000_000, 0))
+	passes := 0
+	rt := RetrainerFunc(func(history []trace.Trace) (Protector, Auditor, error) {
+		passes++
+		return nil, condemnAuditor{seed: seed, pass: passes}, nil
+	})
+	srv, err := New(&fakeProtector{},
+		WithClock(clk),
+		WithRetrainer(rt, 0),
+		WithIdempotencyWindow(8),
+		WithIdempotencyTTL(time.Hour),
+		WithRequestTimeout(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	handler := srv.Handler()
+
+	users := []string{"u0", "u1", "u2", "u3", "u4", "reject-r0", "reject-r1", "boom-b0"}
+	rng := mathx.DeriveRand(seed, "prop")
+
+	// The model: every counter the server must report, accumulated from
+	// the responses the client actually saw.
+	var exp struct {
+		uploads, recordsIn, published, rejected int
+	}
+	seen := map[string]bool{}
+
+	postUpload := func(user, key string, n int, async bool) {
+		t.Helper()
+		records := sampleRecords(n)
+		body, err := json.Marshal(UploadRequest{User: user, Records: records})
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := "/v1/upload"
+		if async {
+			target += "?async=1"
+		}
+		req := httptest.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set(IdempotencyKeyHeader, key)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		replay := rec.Header().Get(IdempotencyReplayHeader) == "true"
+
+		switch rec.Code {
+		case http.StatusOK:
+			if replay {
+				return // served from the window: must not change state
+			}
+			var resp UploadResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("undecodable 200: %s", rec.Body.String())
+			}
+			exp.uploads++
+			exp.recordsIn += n
+			exp.published += resp.Accepted
+			exp.rejected += resp.Rejected
+			seen[user] = true
+		case http.StatusAccepted:
+			if replay {
+				// Replayed job handle; the original already counted.
+				return
+			}
+			// Join the job through its idempotency entry (async ops are
+			// always keyed here), then read the outcome it committed.
+			e, isNew := srv.idem.begin(user, key, uploadFingerprint(trace.New(user, records)))
+			if isNew {
+				t.Fatalf("async upload (%s,%s) lost its idempotency entry", user, key)
+			}
+			select {
+			case <-e.done:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("async upload (%s,%s) never completed", user, key)
+			}
+			resp, done, jerr := srv.idem.outcome(e)
+			if !done {
+				t.Fatal("entry closed but not completed")
+			}
+			if jerr != nil {
+				return // failed job: nothing committed
+			}
+			exp.uploads++
+			exp.recordsIn += n
+			exp.published += resp.Accepted
+			exp.rejected += resp.Rejected
+			seen[user] = true
+		case http.StatusInternalServerError, http.StatusBadRequest,
+			http.StatusUnprocessableEntity, http.StatusTooManyRequests:
+			// No commit. 500 = engine failure (boom-*), 4xx = client bugs.
+		default:
+			t.Fatalf("unexpected status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	check := func(step int) {
+		t.Helper()
+		st := srv.Stats()
+		if st.Uploads < 0 || st.Users < 0 || st.RecordsIn < 0 || st.RecordsPublished < 0 ||
+			st.RecordsRejected < 0 || st.RecordsQuarantined < 0 || st.PublishedTraces < 0 ||
+			st.QuarantinedTraces < 0 || st.Retrains < 0 {
+			t.Fatalf("step %d: negative counter: %+v", step, st)
+		}
+		if st.RecordsIn != st.RecordsPublished+st.RecordsRejected {
+			t.Fatalf("step %d: conservation broken: %+v", step, st)
+		}
+		if st.Uploads != exp.uploads || st.RecordsIn != exp.recordsIn ||
+			st.RecordsPublished != exp.published || st.RecordsRejected != exp.rejected {
+			t.Fatalf("step %d: stats %+v disagree with the response model %+v", step, st, exp)
+		}
+		if st.Users != len(seen) {
+			t.Fatalf("step %d: users %d, model %d", step, st.Users, len(seen))
+		}
+		if st.Retrains != passes {
+			t.Fatalf("step %d: retrains %d, model %d", step, st.Retrains, passes)
+		}
+		// Per-user aggregation and the quarantine identity.
+		var sum ServerStats
+		pieces, piecesQuarantined := 0, 0
+		for _, u := range srv.Users() {
+			us, err := userStatsOf(srv, u)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if us.RecordsIn != us.RecordsPublished+us.RecordsRejected {
+				t.Fatalf("step %d: user %s conservation broken: %+v", step, u, us)
+			}
+			sum.Uploads += us.Uploads
+			sum.RecordsIn += us.RecordsIn
+			sum.RecordsPublished += us.RecordsPublished
+			sum.RecordsRejected += us.RecordsRejected
+			sum.RecordsQuarantined += us.RecordsQuarantined
+			pieces += us.Pieces
+			piecesQuarantined += us.PiecesQuarantined
+		}
+		if sum.Uploads != st.Uploads || sum.RecordsIn != st.RecordsIn ||
+			sum.RecordsPublished != st.RecordsPublished || sum.RecordsRejected != st.RecordsRejected ||
+			sum.RecordsQuarantined != st.RecordsQuarantined {
+			t.Fatalf("step %d: per-user sums %+v disagree with %+v", step, sum, st)
+		}
+		if piecesQuarantined != st.QuarantinedTraces {
+			t.Fatalf("step %d: quarantined pieces %d != quarantined traces %d", step, piecesQuarantined, st.QuarantinedTraces)
+		}
+		if pieces-piecesQuarantined != st.PublishedTraces {
+			t.Fatalf("step %d: pieces %d - quarantined %d != published %d", step, pieces, piecesQuarantined, st.PublishedTraces)
+		}
+	}
+
+	const steps = 250
+	for i := 0; i < steps; i++ {
+		user := users[rng.Intn(len(users))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // plain sync upload
+			postUpload(user, "", 1+rng.Intn(20), false)
+		case 4, 5: // keyed sync upload (duplicates arise from the small key space)
+			postUpload(user, fmt.Sprintf("k%d", rng.Intn(6)), 1+rng.Intn(20), false)
+		case 6: // keyed async upload
+			postUpload(user, fmt.Sprintf("a%d", rng.Intn(6)), 1+rng.Intn(20), true)
+		case 7: // invalid request: must change nothing
+			req := httptest.NewRequest(http.MethodPost, "/v1/upload", strings.NewReader(`{nope`))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("step %d: garbage answered %d", i, rec.Code)
+			}
+		case 8: // retrain + quarantine pass
+			if _, err := srv.Retrain(); err != nil {
+				t.Fatalf("step %d: retrain: %v", i, err)
+			}
+		case 9: // time passes: TTL expiry, rate-limit refill horizons
+			clk.Advance(time.Duration(1+rng.Intn(90)) * time.Minute)
+		}
+		check(i)
+	}
+	if passes == 0 || srv.Stats().QuarantinedTraces == 0 {
+		t.Fatalf("property run too tame: %d passes, stats %+v", passes, srv.Stats())
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mood/internal/clock"
 )
 
 // Middleware is one layer of the server's HTTP processing chain: it
@@ -105,19 +107,22 @@ func Timeout(d time.Duration) Middleware {
 // Probe and poll endpoints (/healthz, /v1/metrics, /v1/jobs/) stay
 // exempt: they are O(1) in-memory reads, and throttling the async
 // poll loop would turn accepted uploads into client-side failures.
-func RateLimit(rps float64, burst int) Middleware {
-	rl := newRateLimiter(rps, burst)
+// The clock drives refill; embedders composing chains by hand pass the
+// same clock they give the server (clock.System() in production) so
+// manual-clock tests can step the limiter.
+func RateLimit(rps float64, burst int, clk clock.Clock) Middleware {
+	rl := newRateLimiter(rps, burst, clk)
 	return rl.middleware
 }
 
 type rateLimiter struct {
 	rps   float64
 	burst float64
+	clk   clock.Clock
 
 	mu        sync.Mutex
 	buckets   map[string]*bucket
 	lastSweep time.Time
-	now       func() time.Time // test hook
 }
 
 type bucket struct {
@@ -129,22 +134,22 @@ type bucket struct {
 // swept, so one bucket per ever-seen key cannot grow without bound.
 const limiterSweepSize = 10000
 
-func newRateLimiter(rps float64, burst int) *rateLimiter {
+func newRateLimiter(rps float64, burst int, clk clock.Clock) *rateLimiter {
 	if burst < 1 {
 		burst = 1
 	}
 	return &rateLimiter{
 		rps:     rps,
 		burst:   float64(burst),
+		clk:     clk,
 		buckets: make(map[string]*bucket),
-		now:     time.Now,
 	}
 }
 
 // allow reports whether key may proceed, and if not, how long until the
 // next token.
 func (rl *rateLimiter) allow(key string) (bool, time.Duration) {
-	now := rl.now()
+	now := rl.clk.Now()
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	if len(rl.buckets) > limiterSweepSize && now.Sub(rl.lastSweep) > 10*time.Second {
@@ -249,22 +254,23 @@ type MetricsSnapshot struct {
 
 // requestMetrics is the live store behind MetricsSnapshot.
 type requestMetrics struct {
+	clk    clock.Clock
 	mu     sync.Mutex
 	routes map[string]*RouteMetrics
 }
 
-func newRequestMetrics() *requestMetrics {
-	return &requestMetrics{routes: make(map[string]*RouteMetrics)}
+func newRequestMetrics(clk clock.Clock) *requestMetrics {
+	return &requestMetrics{clk: clk, routes: make(map[string]*RouteMetrics)}
 }
 
 func (m *requestMetrics) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := m.clk.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		// Observe in a defer so even a panic unwinding through this
 		// layer leaves the request counted.
 		defer func() {
-			m.observe(metricRoute(r), sw.code, time.Since(start))
+			m.observe(metricRoute(r), sw.code, m.clk.Since(start))
 		}()
 		next.ServeHTTP(sw, r)
 	})

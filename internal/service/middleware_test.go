@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"mood/internal/clock"
 	"mood/internal/trace"
 )
 
@@ -76,9 +77,8 @@ func TestTimeoutMiddleware(t *testing.T) {
 }
 
 func TestRateLimiterBucketBehavior(t *testing.T) {
-	rl := newRateLimiter(1, 2)
-	now := time.Unix(1000, 0)
-	rl.now = func() time.Time { return now }
+	clk := clock.NewManual(time.Unix(1000, 0))
+	rl := newRateLimiter(1, 2, clk)
 
 	for i := 0; i < 2; i++ {
 		if ok, _ := rl.allow("user:alice"); !ok {
@@ -96,8 +96,8 @@ func TestRateLimiterBucketBehavior(t *testing.T) {
 	if ok, _ := rl.allow("user:bob"); !ok {
 		t.Fatal("distinct user must not share the bucket")
 	}
-	// Tokens refill with time.
-	now = now.Add(1500 * time.Millisecond)
+	// Tokens refill with virtual time — no wall-clock wait.
+	clk.Advance(1500 * time.Millisecond)
 	if ok, _ := rl.allow("user:alice"); !ok {
 		t.Fatal("refilled bucket must admit")
 	}
@@ -204,9 +204,8 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestLimiterSweepsIdleBuckets(t *testing.T) {
-	rl := newRateLimiter(1, 2)
-	now := time.Unix(1000, 0)
-	rl.now = func() time.Time { return now }
+	clk := clock.NewManual(time.Unix(1000, 0))
+	rl := newRateLimiter(1, 2, clk)
 	for i := 0; i <= limiterSweepSize; i++ {
 		rl.allow(fmt.Sprintf("user:u%d", i))
 	}
@@ -214,7 +213,7 @@ func TestLimiterSweepsIdleBuckets(t *testing.T) {
 		t.Fatalf("precondition: buckets = %d", len(rl.buckets))
 	}
 	// After the refill horizon every bucket is idle-full and sweepable.
-	now = now.Add(time.Minute)
+	clk.Advance(time.Minute)
 	rl.allow("user:fresh")
 	if got := len(rl.buckets); got != 1 {
 		t.Fatalf("buckets after sweep = %d, want 1", got)
@@ -280,7 +279,7 @@ func TestUploadRejectsMismatchedUserHeader(t *testing.T) {
 }
 
 func TestMetricsConcurrentObserve(t *testing.T) {
-	m := newRequestMetrics()
+	m := newRequestMetrics(clock.System())
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)

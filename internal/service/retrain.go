@@ -95,7 +95,7 @@ func (s *Server) Retrain() (RetrainReport, error) {
 		return RetrainReport{}, ErrRetrainInProgress
 	}
 	defer s.retrainMu.Unlock()
-	began := time.Now()
+	began := s.clk.Now()
 	gen := s.histGen.Load()
 
 	history := s.historySnapshot()
@@ -123,7 +123,7 @@ func (s *Server) Retrain() (RetrainReport, error) {
 	}
 	s.retrains.Add(1)
 	s.lastTrained.Store(gen)
-	report.DurationMillis = time.Since(began).Milliseconds()
+	report.DurationMillis = s.clk.Since(began).Milliseconds()
 	return report, nil
 }
 
@@ -134,18 +134,20 @@ func (s *Server) Retrain() (RetrainReport, error) {
 // a pass gets one.
 func (s *Server) retrainLoop(interval time.Duration) {
 	defer close(s.retrainDone)
-	ticker := time.NewTicker(interval)
+	ticker := s.clk.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-ticker.C:
+		case <-ticker.C():
 			if s.retrains.Load() > 0 && s.histGen.Load() == s.lastTrained.Load() {
+				s.retrainTicks.Add(1)
 				continue
 			}
 			// A failing retrain keeps the current engine serving; the
 			// next tick (or the admin endpoint) retries. The error is
 			// surfaced on the admin path, where a caller can see it.
 			s.Retrain() //nolint:errcheck
+			s.retrainTicks.Add(1)
 		case <-s.retrainStop:
 			return
 		}

@@ -3,11 +3,13 @@ package service
 import (
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"mood/internal/clock"
 	"mood/internal/core"
 	"mood/internal/trace"
 )
@@ -275,6 +277,8 @@ func TestNoHistoryWithoutRetrainer(t *testing.T) {
 }
 
 func TestPeriodicRetrainLoop(t *testing.T) {
+	const interval = time.Minute
+	clk := clock.NewManual(time.Unix(1_700_000_000, 0))
 	passes := make(chan struct{}, 64)
 	rt := RetrainerFunc(func([]trace.Trace) (Protector, Auditor, error) {
 		select {
@@ -283,7 +287,7 @@ func TestPeriodicRetrainLoop(t *testing.T) {
 		}
 		return nil, nil, nil
 	})
-	srv, err := New(&markedProtector{mark: "gen0"}, WithRetrainer(rt, 5*time.Millisecond))
+	srv, err := New(&markedProtector{mark: "gen0"}, WithClock(clk), WithRetrainer(rt, interval))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,11 +300,34 @@ func TestPeriodicRetrainLoop(t *testing.T) {
 			t.Fatalf("periodic retrain never fired (%s)", what)
 		}
 	}
+	// tick advances virtual time by one interval and joins the loop's
+	// processing of that tick, so every assertion below is about a tick
+	// that has provably been consumed — no wall-clock sleeps, no races.
+	tick := func(what string) {
+		t.Helper()
+		before := srv.retrainTicks.Load()
+		clk.Advance(interval)
+		deadline := time.After(5 * time.Second)
+		for srv.retrainTicks.Load() == before {
+			select {
+			case <-deadline:
+				srv.Close()
+				t.Fatalf("tick never processed (%s)", what)
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+
+	clk.BlockUntil(1) // the loop's ticker is registered
+	tick("first tick")
 	waitPass("first tick")
 
 	// No history change since the pass: further ticks must be skipped —
 	// the rebuilt engine would be identical.
-	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		tick("idle tick")
+	}
 	if len(passes) != 0 {
 		srv.Close()
 		t.Fatal("idle ticks retrained on unchanged history")
@@ -311,14 +338,15 @@ func TestPeriodicRetrainLoop(t *testing.T) {
 		srv.Close()
 		t.Fatal(err)
 	}
+	tick("after new history")
 	waitPass("after new history")
 
 	// Close must stop the loop and join it (no goroutine leak, no tick
-	// after shutdown).
+	// after shutdown). Advancing virtual time afterwards cannot revive
+	// it: Close joined the loop goroutine, so nothing is listening.
 	srv.Close()
-	drained := len(passes)
-	time.Sleep(30 * time.Millisecond)
-	if len(passes) != drained {
+	clk.Advance(10 * interval)
+	if len(passes) != 0 {
 		t.Fatal("retrain ticked after Close")
 	}
 }

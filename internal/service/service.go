@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mood/internal/clock"
 	"mood/internal/core"
 	"mood/internal/trace"
 	"mood/internal/traceio"
@@ -77,6 +78,16 @@ type Options struct {
 	// IdempotencyWindow caps the upload dedupe window (entries tracked
 	// for X-Mood-Idempotency-Key replays). Default 4096.
 	IdempotencyWindow int
+	// IdempotencyTTL additionally expires completed dedupe entries by
+	// age: a key whose outcome is older than the TTL is forgotten and a
+	// retry under it re-executes. 0 (the default) keeps the historical
+	// count-only eviction.
+	IdempotencyTTL time.Duration
+	// Clock is the time source for every time-dependent behaviour
+	// (rate-limit refill, idempotency TTL, retrain ticker, request
+	// latency metrics). Defaults to the system clock; tests and the
+	// simulation harness install a steppable clock.Manual.
+	Clock clock.Clock
 	// Retrainer, when non-nil, enables the online dynamic-protection
 	// subsystem: POST /v1/admin/retrain (and, when RetrainInterval > 0,
 	// a background ticker) rebuilds the protection engine from the
@@ -118,6 +129,17 @@ func WithAuthToken(token string) Option { return func(o *Options) { o.AuthToken 
 // WithIdempotencyWindow caps the upload dedupe window.
 func WithIdempotencyWindow(n int) Option { return func(o *Options) { o.IdempotencyWindow = n } }
 
+// WithIdempotencyTTL expires completed dedupe entries older than d
+// (0 keeps count-only eviction).
+func WithIdempotencyTTL(d time.Duration) Option {
+	return func(o *Options) { o.IdempotencyTTL = d }
+}
+
+// WithClock installs the time source. Embedders and tests pass a
+// clock.Manual to make rate limiting, idempotency expiry and the
+// retrain loop steppable; the default is the system clock.
+func WithClock(c clock.Clock) Option { return func(o *Options) { o.Clock = c } }
+
 // WithRetrainer enables online dynamic protection: rt rebuilds the
 // engine from accumulated history, interval drives the background loop
 // (0 = on-demand only via POST /v1/admin/retrain).
@@ -152,6 +174,9 @@ func (o *Options) fill() {
 	if o.HistoryCap == 0 {
 		o.HistoryCap = DefaultHistoryCap
 	}
+	if o.Clock == nil {
+		o.Clock = clock.System()
+	}
 }
 
 // Server implements the crowd-sensing middleware. Create with New and
@@ -166,6 +191,7 @@ type Server struct {
 	// audit.go).
 	engine atomic.Pointer[engineState]
 	opts   Options
+	clk    clock.Clock
 
 	shards  [numShards]stateShard
 	pseudo  atomic.Int64
@@ -182,6 +208,12 @@ type Server struct {
 	lastTrained atomic.Int64 // histGen the last successful pass saw
 	retrainStop chan struct{}
 	retrainDone chan struct{}
+	// retrainTicks counts fully processed ticks of the periodic loop
+	// (skipped or retrained). On a manual clock this is the rendezvous
+	// that lets a test know an Advance-delivered tick has been consumed
+	// before it mutates history — without it, "this tick was idle"
+	// cannot be asserted deterministically.
+	retrainTicks atomic.Int64
 
 	saveMu sync.Mutex // serialises SaveState snapshots
 	closed atomic.Bool
@@ -276,9 +308,10 @@ func New(p Protector, opts ...Option) (*Server, error) {
 	o.fill()
 	s := &Server{
 		opts:    o,
+		clk:     o.Clock,
 		jobs:    newJobStore(),
-		idem:    newIdemStore(o.IdempotencyWindow),
-		metrics: newRequestMetrics(),
+		idem:    newIdemStore(o.IdempotencyWindow, o.IdempotencyTTL, o.Clock),
+		metrics: newRequestMetrics(o.Clock),
 	}
 	s.engine.Store(&engineState{p: p})
 	for i := range s.shards {
@@ -334,7 +367,7 @@ func (s *Server) Handler() http.Handler {
 		mws = append(mws, Auth(s.opts.AuthToken))
 	}
 	if s.opts.RateLimit > 0 {
-		mws = append(mws, RateLimit(s.opts.RateLimit, s.opts.RateBurst))
+		mws = append(mws, RateLimit(s.opts.RateLimit, s.opts.RateBurst, s.clk))
 	}
 	return Chain(mux, mws...)
 }
