@@ -576,6 +576,63 @@ func BenchmarkServerUploadParallel(b *testing.B) {
 	b.ReportMetric(float64(st.Uploads)/float64(b.N), "uploads/op")
 }
 
+// BenchmarkServerUploadBatchV2 drives the same workload through the
+// /v2/traces NDJSON batch endpoint: each op is one 100-chunk batch on
+// one connection, so the ns/op divided by batchSize compares directly
+// against BenchmarkServerUploadParallel's per-upload cost — the batch
+// amortizes the HTTP round-trip, auth and rate-limit work across the
+// whole batch (the acceptance bar is ≥ 2× single-request throughput at
+// the same worker count). The chunks/s metric makes the comparison
+// explicit.
+func BenchmarkServerUploadBatchV2(b *testing.B) {
+	const batchSize = 100
+	srv, err := service.New(echoProtector{},
+		service.WithQueueDepth(1024), service.WithRateLimit(0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	base := geo.Point{Lat: 45.7, Lon: 4.8}
+	records := make([]trace.Record, 50)
+	for i := range records {
+		records[i] = trace.At(geo.Offset(base, float64(i)*10, 0), int64(1000+i*60))
+	}
+
+	var uid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := service.NewClient(hs.URL)
+		user := fmt.Sprintf("bench-user-%d", uid.Add(1))
+		chunks := make([]service.BatchChunk, batchSize)
+		for i := range chunks {
+			chunks[i] = service.BatchChunk{User: user, Records: records}
+		}
+		for pb.Next() {
+			results, err := c.UploadBatch(chunks)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for _, res := range results {
+				if res.Status != 200 {
+					b.Errorf("chunk %d: %d %s", res.Index, res.Status, res.Error)
+					return
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	st := srv.Stats()
+	if st.RecordsIn != st.RecordsPublished+st.RecordsRejected {
+		b.Fatalf("conservation broken: %+v", st)
+	}
+	b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "chunks/s")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(batchSize)*float64(b.N)), "ns/chunk")
+}
+
 func BenchmarkSynthGenerate(b *testing.B) {
 	cfg := synth.MDCLike(synth.ScaleTiny, 9)
 	cfg.NumUsers = 4

@@ -1,7 +1,8 @@
-// Command moodctl applies MooD protection to a CSV mobility dataset and
-// reports what an attacker could still learn.
+// Command moodctl applies MooD protection to a CSV mobility dataset,
+// reports what an attacker could still learn, and talks to a running
+// moodserver over the /v2 wire protocol.
 //
-// Subcommands:
+// Offline subcommands:
 //
 //	moodctl protect -background bg.csv -in raw.csv -out protected.csv [-seed 42]
 //	    Train attacks on the background file, run MooD on the input
@@ -10,6 +11,17 @@
 //	moodctl attack -background bg.csv -in some.csv
 //	    Train the three attacks on the background file and report how
 //	    many traces of the input they re-identify.
+//
+// Server subcommands (v2 client):
+//
+//	moodctl upload -server URL -in raw.csv [-token T] [-batch 256] [-key-prefix p]
+//	    Stream the CSV's traces to POST /v2/traces as NDJSON batches
+//	    (one connection per batch, per-chunk results, optional
+//	    per-chunk idempotency keys) and summarise the outcome.
+//
+//	moodctl dataset -server URL [-token T] [-out file.csv] [-user p] [-from ts] [-to ts] [-limit 500]
+//	    Page through GET /v2/dataset with the cursor iterator and
+//	    write the published dataset as CSV (stdout by default).
 //
 // CSV format: header "user,lat,lon,ts" with ts in Unix seconds.
 package main
@@ -32,15 +44,19 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: moodctl <protect|attack> [flags]")
+		return fmt.Errorf("usage: moodctl <protect|attack|upload|dataset> [flags]")
 	}
 	switch args[0] {
 	case "protect":
 		return protect(args[1:])
 	case "attack":
 		return attackCmd(args[1:])
+	case "upload":
+		return uploadCmd(args[1:])
+	case "dataset":
+		return datasetCmd(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want protect or attack)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want protect, attack, upload or dataset)", args[0])
 	}
 }
 

@@ -1,6 +1,10 @@
 // Command moodserver runs the crowd-sensing middleware: participants
-// POST daily mobility chunks to /v1/upload and only protected,
-// pseudonymised fragments are admitted to GET /v1/dataset.
+// stream daily mobility chunks to POST /v2/traces (NDJSON batches;
+// the deprecated single-chunk POST /v1/upload shim stays mounted) and
+// only protected, pseudonymised fragments are admitted to the
+// cursor-paginated GET /v2/dataset. The server is self-describing:
+// GET /v2/openapi.json serves an OpenAPI document generated from the
+// same route table that drives the router.
 //
 // Usage:
 //
@@ -20,7 +24,7 @@
 // and HMC background on initial-background + history, hot-swaps the
 // engine without upload downtime, and re-audits the published dataset,
 // quarantining fragments the refreshed attacks re-identify. The same
-// pass can be triggered on demand with POST /v1/admin/retrain (always
+// pass can be triggered on demand with POST /v2/admin/retrain (always
 // available, behind -token when set).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight

@@ -60,15 +60,18 @@ func main() {
 	provenance := map[string]string{} // pseudonym -> true participant
 	seen := map[string]bool{}
 	for i, participant := range campaign.Traces {
-		// Odd participants use the asynchronous path: their phone gets a
-		// 202 + job ID immediately and polls for the outcome, as a real
-		// battery-conscious client would.
+		// Most phones stream their backlog of daily chunks as one
+		// /v2/traces NDJSON batch — one connection, one rate-limit
+		// check, per-chunk results. Odd participants use the per-chunk
+		// asynchronous path instead: a 202 + job ID immediately and a
+		// poll for the outcome, as a battery-conscious client on the
+		// legacy v1 surface would.
 		var resps []service.UploadResponse
 		var err error
 		if i%2 == 1 {
 			resps, err = uploadDailyAsync(client, participant)
 		} else {
-			resps, err = client.UploadDaily(participant)
+			resps, err = uploadDailyBatch(client, participant)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -125,12 +128,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	batch := snap.Routes["POST /v2/traces"]
 	up := snap.Routes["POST /v1/upload"]
-	fmt.Printf("server: %d upload requests, avg %.1f ms, max %.1f ms\n",
-		up.Count, up.AvgMillis, up.MaxMillis)
+	fmt.Printf("server: %d batch requests + %d legacy uploads, batch avg %.1f ms, max %.1f ms\n",
+		batch.Count, up.Count, batch.AvgMillis, batch.MaxMillis)
 }
 
-// uploadDailyAsync mirrors Client.UploadDaily over the 202/poll path.
+// uploadDailyBatch sends every daily chunk in one streaming batch and
+// collects the per-chunk outcomes.
+func uploadDailyBatch(c *service.Client, participant mood.Trace) ([]service.UploadResponse, error) {
+	results, err := c.UploadChunks(participant, "")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]service.UploadResponse, 0, len(results))
+	for _, res := range results {
+		if res.Status != 200 || res.Result == nil {
+			return out, fmt.Errorf("chunk %d: %d %s %s", res.Index, res.Status, res.Code, res.Error)
+		}
+		out = append(out, *res.Result)
+	}
+	return out, nil
+}
+
+// uploadDailyAsync mirrors the batch path over the v1 202/poll shim.
 func uploadDailyAsync(c *service.Client, participant mood.Trace) ([]service.UploadResponse, error) {
 	chunks := participant.Chunks(24 * time.Hour)
 	out := make([]service.UploadResponse, 0, len(chunks))

@@ -311,19 +311,19 @@ func (d *Driver) runOp(o op) opResult {
 // op; exhausting it is reported as a violation, not a hang.
 const maxTransientAttempts = 300
 
-// runUpload delivers one keyed upload (sync or async), transparently
-// retrying transient rejections (429 throttle, 503 shed/restart), then
-// optionally issues a deliberate duplicate and checks the replay
-// contract.
+// runUpload delivers one keyed upload (sync or async) as a one-chunk
+// v2 batch, transparently retrying transient rejections (429 throttle,
+// 503 shed/restart), then optionally issues a deliberate duplicate and
+// checks the replay contract.
 func (d *Driver) runUpload(o op) opResult {
 	var res opResult
-	body, err := json.Marshal(service.UploadRequest{User: o.user, Records: o.records})
+	line, err := json.Marshal(service.BatchChunk{User: o.user, Records: o.records, Key: o.key, Async: o.async})
 	if err != nil {
 		res.violations = append(res.violations, Violation{Invariant: "harness", Detail: err.Error()})
 		return res
 	}
 
-	_, respBody, replayed, vio := d.deliver(o, body)
+	respBody, replayed, vio := d.deliver(o, line)
 	if vio != nil {
 		res.violations = append(res.violations, *vio)
 		return res
@@ -340,7 +340,7 @@ func (d *Driver) runUpload(o op) opResult {
 	}
 
 	if o.retry {
-		v := d.duplicate(o, body, respBody)
+		v := d.duplicate(o, line, respBody)
 		if v != nil {
 			res.violations = append(res.violations, *v)
 		} else {
@@ -350,46 +350,64 @@ func (d *Driver) runUpload(o op) opResult {
 	return res
 }
 
-// deliver sends the upload until it is accepted. It returns the final
-// status, the response body (sync uploads; nil for async) and whether
-// the accepted response was served as an idempotent replay.
-func (d *Driver) deliver(o op, body []byte) (status int, respBody []byte, replayed bool, vio *Violation) {
+// deliver sends the upload until it is accepted. It returns the
+// canonical result body (sync uploads; nil for async) and whether the
+// accepted result was served as an idempotent replay. Transient
+// rejections — request-level 429/503 (throttle, restart window) and
+// chunk-level 429/503 result lines (shed) — are retried under the same
+// key.
+func (d *Driver) deliver(o op, line []byte) (respBody []byte, replayed bool, vio *Violation) {
 	for attempt := 0; attempt < maxTransientAttempts; attempt++ {
-		st, hdr, data, err := d.post(o, body)
+		st, res, err := d.postChunk(o, line)
 		if err != nil {
 			// Connection-level failure (e.g. racing a restart): the key
 			// makes the retry safe.
 			d.backoff(attempt)
 			continue
 		}
-		switch {
-		case st == http.StatusOK:
-			return st, data, hdr.Get(service.IdempotencyReplayHeader) == "true", nil
-		case st == http.StatusAccepted:
-			var j service.JobStatus
-			if err := json.Unmarshal(data, &j); err != nil {
-				return 0, nil, false, &Violation{Invariant: "wire", Detail: "202 with undecodable JobStatus: " + err.Error()}
+		if st != http.StatusOK {
+			if st == http.StatusTooManyRequests || st == http.StatusServiceUnavailable {
+				d.backoff(attempt)
+				continue
 			}
-			ok, v := d.awaitJob(o, j.ID)
+			return nil, false, &Violation{
+				Invariant: "upload-accepted",
+				Detail:    fmt.Sprintf("upload (%s,%s) rejected at request level with %d", o.user, o.key, st),
+			}
+		}
+		switch {
+		case res.Status == http.StatusOK:
+			data, merr := json.Marshal(res.Result)
+			if merr != nil || res.Result == nil {
+				return nil, false, &Violation{Invariant: "wire",
+					Detail: fmt.Sprintf("200 result line without a result body for (%s,%s)", o.user, o.key)}
+			}
+			return data, res.Replay, nil
+		case res.Status == http.StatusAccepted:
+			if res.Job == nil {
+				return nil, false, &Violation{Invariant: "wire", Detail: "202 result line without a job handle"}
+			}
+			ok, v := d.awaitJob(o, res.Job.ID)
 			if v != nil {
-				return 0, nil, false, v
+				return nil, false, v
 			}
 			if !ok { // job lost to a restart: re-deliver under the same key
 				d.backoff(attempt)
 				continue
 			}
-			return st, nil, hdr.Get(service.IdempotencyReplayHeader) == "true", nil
-		case st == http.StatusTooManyRequests || st == http.StatusServiceUnavailable:
+			return nil, res.Replay, nil
+		case res.Status == http.StatusTooManyRequests || res.Status == http.StatusServiceUnavailable:
 			d.backoff(attempt)
 			continue
 		default:
-			return 0, nil, false, &Violation{
+			return nil, false, &Violation{
 				Invariant: "upload-accepted",
-				Detail:    fmt.Sprintf("upload (%s,%s) rejected with %d: %s", o.user, o.key, st, truncate(data)),
+				Detail: fmt.Sprintf("upload (%s,%s) rejected with %d (%s): %s",
+					o.user, o.key, res.Status, res.Code, res.Error),
 			}
 		}
 	}
-	return 0, nil, false, &Violation{
+	return nil, false, &Violation{
 		Invariant: "upload-accepted",
 		Detail:    fmt.Sprintf("upload (%s,%s) still shed after %d attempts", o.user, o.key, maxTransientAttempts),
 	}
@@ -432,33 +450,46 @@ func (d *Driver) awaitJob(o op, id string) (ok bool, vio *Violation) {
 }
 
 // duplicate re-sends an accepted upload under its key and checks the
-// idempotent-replay contract: sync replies must be byte-identical to
-// the original, async replies must name the same job (or replay its
+// idempotent-replay contract: sync results must be byte-identical to
+// the original, async results must name the same job (or replay its
 // outcome after eviction); and the duplicate must never commit again
 // (the final accounting check would catch a double commit).
-func (d *Driver) duplicate(o op, body, origBody []byte) *Violation {
+func (d *Driver) duplicate(o op, line, origBody []byte) *Violation {
 	for attempt := 0; attempt < maxTransientAttempts; attempt++ {
-		st, hdr, data, err := d.post(o, body)
+		st, res, err := d.postChunk(o, line)
 		if err != nil || st == http.StatusTooManyRequests || st == http.StatusServiceUnavailable {
 			d.backoff(attempt)
 			continue
 		}
-		if st != http.StatusOK && st != http.StatusAccepted {
+		if st != http.StatusOK {
 			return &Violation{
 				Invariant: "replay-identical",
-				Detail:    fmt.Sprintf("duplicate (%s,%s) answered %d: %s", o.user, o.key, st, truncate(data)),
+				Detail:    fmt.Sprintf("duplicate (%s,%s) answered request-level %d", o.user, o.key, st),
 			}
 		}
-		if hdr.Get(service.IdempotencyReplayHeader) != "true" {
+		if res.Status == http.StatusTooManyRequests || res.Status == http.StatusServiceUnavailable {
+			d.backoff(attempt)
+			continue
+		}
+		if res.Status != http.StatusOK && res.Status != http.StatusAccepted {
+			return &Violation{
+				Invariant: "replay-identical",
+				Detail:    fmt.Sprintf("duplicate (%s,%s) answered %d (%s): %s", o.user, o.key, res.Status, res.Code, res.Error),
+			}
+		}
+		if !res.Replay {
 			return &Violation{
 				Invariant: "replay-identical",
 				Detail:    fmt.Sprintf("duplicate (%s,%s) was not served as a replay", o.user, o.key),
 			}
 		}
-		if !o.async && origBody != nil && !bytes.Equal(data, origBody) {
-			return &Violation{
-				Invariant: "replay-identical",
-				Detail:    fmt.Sprintf("replay of (%s,%s) differs from the original response: %s vs %s", o.user, o.key, truncate(data), truncate(origBody)),
+		if !o.async && origBody != nil {
+			data, merr := json.Marshal(res.Result)
+			if merr != nil || !bytes.Equal(data, origBody) {
+				return &Violation{
+					Invariant: "replay-identical",
+					Detail:    fmt.Sprintf("replay of (%s,%s) differs from the original result: %s vs %s", o.user, o.key, truncate(data), truncate(origBody)),
+				}
 			}
 		}
 		return nil
@@ -469,32 +500,37 @@ func (d *Driver) duplicate(o op, body, origBody []byte) *Violation {
 	}
 }
 
-// post issues one upload POST and reads the whole response.
-func (d *Driver) post(o op, body []byte) (int, http.Header, []byte, error) {
-	url := d.client.BaseURL + "/v1/upload"
-	if o.async {
-		url += "?async=1"
-	}
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+// postChunk issues one chunk line as a v2 batch POST. It returns the
+// request-level HTTP status and, when the batch was processed (200),
+// the chunk's result line.
+func (d *Driver) postChunk(o op, line []byte) (int, service.BatchResult, error) {
+	body := append(append([]byte(nil), line...), '\n')
+	req, err := http.NewRequest(http.MethodPost, d.client.BaseURL+"/v2/traces", bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, service.BatchResult{}, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", service.NDJSONContentType)
 	req.Header.Set(service.UserHeader, o.user)
-	req.Header.Set(service.IdempotencyKeyHeader, o.key)
 	if d.cfg.AuthToken != "" {
 		req.Header.Set("Authorization", "Bearer "+d.cfg.AuthToken)
 	}
 	resp, err := d.httpClient().Do(req)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, service.BatchResult{}, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, service.BatchResult{}, err
 	}
-	return resp.StatusCode, resp.Header, data, nil
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, service.BatchResult{}, nil
+	}
+	var res service.BatchResult
+	if err := json.Unmarshal(bytes.TrimSpace(data), &res); err != nil {
+		return 0, service.BatchResult{}, fmt.Errorf("undecodable result line %q: %w", truncate(data), err)
+	}
+	return resp.StatusCode, res, nil
 }
 
 func (d *Driver) httpClient() *http.Client {

@@ -1,7 +1,6 @@
 package loadgen
 
 import (
-	"bytes"
 	"fmt"
 	"net/http"
 	"sort"
@@ -159,70 +158,64 @@ func nonNegative(st service.ServerStats) error {
 // ---------------------------------------------------------------------------
 // Invalid-request ops.
 
-// numInvalidVariants is the size of the malformed-request rotation.
+// numInvalidVariants is the size of the malformed-chunk rotation.
 const numInvalidVariants = 5
 
-// runInvalid sends one deliberately malformed request and checks the
-// server rejects it with a 4xx — and, because the final accounting is
-// verified against only the *valid* uploads, that rejected garbage
-// never leaks into the published state.
+// runInvalid sends one deliberately malformed chunk through the v2
+// batch endpoint and checks the server rejects it per-chunk with a 4xx
+// result line — and, because the final accounting is verified against
+// only the *valid* uploads, that rejected garbage never leaks into the
+// published state.
 func (d *Driver) runInvalid(o op) opResult {
 	var res opResult
-	url := d.client.BaseURL + "/v1/upload"
-	var body string
-	header := map[string]string{}
+	var line string
 	switch o.variant {
-	case 0: // undecodable JSON
-		body = `{nope`
+	case 0: // undecodable chunk line
+		line = `{nope`
 	case 1: // no records
-		body = fmt.Sprintf(`{"user":%q,"records":[]}`, o.user)
-	case 2: // user ID that cannot round-trip through /v1/users/{id}
-		body = `{"user":"bad/user","records":[{"lat":45,"lon":4,"ts":1}]}`
-	case 3: // unparseable async selector
-		url += "?async=nope"
-		body = fmt.Sprintf(`{"user":%q,"records":[{"lat":45,"lon":4,"ts":1}]}`, o.user)
+		line = fmt.Sprintf(`{"user":%q,"records":[]}`, o.user)
+	case 2: // user ID that cannot round-trip through /v2/users/{id}
+		line = `{"user":"bad/user","records":[{"lat":45,"lon":4,"ts":1}]}`
+	case 3: // mistyped async selector
+		line = fmt.Sprintf(`{"user":%q,"records":[{"lat":45,"lon":4,"ts":1}],"async":"nope"}`, o.user)
 	default: // oversized idempotency key
-		body = fmt.Sprintf(`{"user":%q,"records":[{"lat":45,"lon":4,"ts":1}]}`, o.user)
-		header[service.IdempotencyKeyHeader] = strings.Repeat("k", 201)
+		line = fmt.Sprintf(`{"user":%q,"records":[{"lat":45,"lon":4,"ts":1}],"key":%q}`,
+			o.user, strings.Repeat("k", 201))
 	}
 
 	for attempt := 0; attempt < maxTransientAttempts; attempt++ {
-		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
-		if err != nil {
-			res.violations = append(res.violations, Violation{Invariant: "harness", Detail: err.Error()})
-			return res
-		}
-		req.Header.Set("Content-Type", "application/json")
-		for k, v := range header {
-			req.Header.Set(k, v)
-		}
-		if d.cfg.AuthToken != "" {
-			req.Header.Set("Authorization", "Bearer "+d.cfg.AuthToken)
-		}
-		resp, err := d.httpClient().Do(req)
+		st, chunk, err := d.postChunk(o, []byte(line))
 		if err != nil {
 			d.backoff(attempt)
 			continue
 		}
-		resp.Body.Close()
 		switch {
-		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		case st == http.StatusTooManyRequests || st == http.StatusServiceUnavailable:
 			d.backoff(attempt)
 			continue
-		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		case st != http.StatusOK:
+			res.violations = append(res.violations, Violation{
+				Invariant: "invalid-rejected",
+				Detail:    fmt.Sprintf("malformed chunk (variant %d) answered request-level %d", o.variant, st),
+			})
+			return res
+		case chunk.Status == http.StatusTooManyRequests || chunk.Status == http.StatusServiceUnavailable:
+			d.backoff(attempt)
+			continue
+		case chunk.Status >= 400 && chunk.Status < 500:
 			res.tally.Invalid++
 			return res
 		default:
 			res.violations = append(res.violations, Violation{
 				Invariant: "invalid-rejected",
-				Detail:    fmt.Sprintf("malformed request (variant %d) answered %d", o.variant, resp.StatusCode),
+				Detail:    fmt.Sprintf("malformed chunk (variant %d) answered %d (%s)", o.variant, chunk.Status, chunk.Code),
 			})
 			return res
 		}
 	}
 	res.violations = append(res.violations, Violation{
 		Invariant: "invalid-rejected",
-		Detail:    fmt.Sprintf("malformed request (variant %d) still shed after %d attempts", o.variant, maxTransientAttempts),
+		Detail:    fmt.Sprintf("malformed chunk (variant %d) still shed after %d attempts", o.variant, maxTransientAttempts),
 	})
 	return res
 }

@@ -136,5 +136,11 @@ func (s *Server) auditFrags(sh *stateShard, a Auditor, frags []publishedFrag) (a
 		sh.published[j] = publishedFrag{}
 	}
 	sh.published = kept
+	if quarantined > 0 {
+		// Quarantines change the published dataset without minting new
+		// fragment sequence numbers; the generation bump invalidates the
+		// dataset ETag and assembly cache (see dataset.go).
+		s.quarGen.Add(1)
+	}
 	return audited, quarantined
 }

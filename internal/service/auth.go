@@ -7,18 +7,25 @@ import (
 )
 
 // WithAuth wraps a handler with bearer-token authentication: requests
-// must carry "Authorization: Bearer <token>". The health endpoint stays
-// open for liveness probes. Token comparison is constant-time.
+// must carry "Authorization: Bearer <token>". Routes the table marks
+// noAuth (the liveness probe, the OpenAPI document) stay open; in
+// hand-built chains without the route resolver, the health endpoint is
+// recognised by path. Token comparison is constant-time.
 func WithAuth(token string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if rt := routeOf(r); rt != nil {
+			if rt.noAuth {
+				next.ServeHTTP(w, r)
+				return
+			}
+		} else if r.URL.Path == "/healthz" {
 			next.ServeHTTP(w, r)
 			return
 		}
 		got, ok := bearerToken(r)
 		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
 			w.Header().Set("WWW-Authenticate", `Bearer realm="mood"`)
-			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			writeError(w, r, http.StatusUnauthorized, CodeUnauthorized, "missing or invalid bearer token")
 			return
 		}
 		next.ServeHTTP(w, r)

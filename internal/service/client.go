@@ -119,7 +119,7 @@ func (c *Client) UploadAsync(t trace.Trace) (JobStatus, error) {
 
 // Job fetches the status of an asynchronous upload.
 func (c *Client) Job(id string) (JobStatus, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/jobs/"+id, nil)
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/jobs/"+id, nil)
 	if err != nil {
 		return JobStatus{}, fmt.Errorf("service: job status: %w", err)
 	}
@@ -155,11 +155,11 @@ func (c *Client) WaitJob(id string, timeout time.Duration) (JobStatus, error) {
 	}
 }
 
-// Retrain triggers a retrain + re-audit pass (POST /v1/admin/retrain)
+// Retrain triggers a retrain + re-audit pass (POST /v2/admin/retrain)
 // and returns what it did. The server answers 404 when no retrainer is
 // configured.
 func (c *Client) Retrain() (RetrainReport, error) {
-	resp, err := c.do(http.MethodPost, c.BaseURL+"/v1/admin/retrain", nil)
+	resp, err := c.do(http.MethodPost, c.BaseURL+"/v2/admin/retrain", nil)
 	if err != nil {
 		return RetrainReport{}, fmt.Errorf("service: retrain: %w", err)
 	}
@@ -176,7 +176,7 @@ func (c *Client) Retrain() (RetrainReport, error) {
 
 // Metrics fetches the server's request metrics.
 func (c *Client) Metrics() (MetricsSnapshot, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/metrics", nil)
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/metrics", nil)
 	if err != nil {
 		return MetricsSnapshot{}, fmt.Errorf("service: metrics: %w", err)
 	}
@@ -207,26 +207,26 @@ func (c *Client) UploadDaily(t trace.Trace) ([]UploadResponse, error) {
 	return out, nil
 }
 
-// Dataset fetches the published, protected dataset.
+// Dataset fetches the entire published, protected dataset by paging
+// through GET /v2/dataset (pages arrive sorted by pseudonym, so the
+// concatenation reassembles the canonical dataset order).
 func (c *Client) Dataset() (trace.Dataset, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/dataset", nil)
-	if err != nil {
-		return trace.Dataset{}, fmt.Errorf("service: dataset: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return trace.Dataset{}, decodeError(resp)
-	}
 	var d trace.Dataset
-	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
-		return trace.Dataset{}, fmt.Errorf("service: decoding dataset: %w", err)
+	for page, err := range c.DatasetPages(DatasetQuery{Limit: maxPageLimit}) {
+		if err != nil {
+			return trace.Dataset{}, fmt.Errorf("service: dataset: %w", err)
+		}
+		if d.Name == "" {
+			d.Name = page.Name
+		}
+		d.Traces = append(d.Traces, page.Traces...)
 	}
 	return d, nil
 }
 
 // Stats fetches the server counters.
 func (c *Client) Stats() (ServerStats, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/stats", nil)
 	if err != nil {
 		return ServerStats{}, fmt.Errorf("service: stats: %w", err)
 	}
@@ -243,7 +243,7 @@ func (c *Client) Stats() (ServerStats, error) {
 
 // UserStats fetches one participant's accounting.
 func (c *Client) UserStats(user string) (UserStats, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v1/users/"+user, nil)
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/users/"+user, nil)
 	if err != nil {
 		return UserStats{}, fmt.Errorf("service: user stats: %w", err)
 	}
@@ -263,6 +263,9 @@ func (c *Client) UserStats(user string) (UserStats, error) {
 type StatusError struct {
 	Code int
 	Msg  string
+	// ProblemCode is the stable machine-readable code of a v2
+	// problem+json error ("" on legacy v1 bodies).
+	ProblemCode string
 }
 
 func (e *StatusError) Error() string {
@@ -272,10 +275,21 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("service: server returned %d", e.Code)
 }
 
+// decodeError understands both error dialects: RFC 7807 problem+json
+// (v2) and the legacy {"error": "..."} body (v1).
 func decodeError(resp *http.Response) error {
-	var ae apiError
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	se := &StatusError{Code: resp.StatusCode}
+	var p Problem
+	if err := json.Unmarshal(body, &p); err == nil && p.Code != "" {
+		se.Msg = p.Detail
+		if se.Msg == "" {
+			se.Msg = p.Title
+		}
+		se.ProblemCode = p.Code
+		return se
+	}
+	var ae apiError
 	if err := json.Unmarshal(body, &ae); err == nil && ae.Error != "" {
 		se.Msg = ae.Error
 	}

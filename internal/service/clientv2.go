@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"mood/internal/trace"
+)
+
+// The v2 client surface: streaming batch uploads with per-chunk
+// results, the paginated dataset (with an iterator), and the jobs
+// listing. The single-chunk helpers in client.go are shims over these.
+
+// UploadBatchStream sends the chunks as one NDJSON batch to
+// POST /v2/traces and invokes fn for every result line as it arrives,
+// in input order. fn returning an error aborts the stream and is
+// returned verbatim. When every chunk belongs to one user, the batch is
+// tagged with X-Mood-User so the server rate-limits it per participant.
+func (c *Client) UploadBatchStream(chunks []BatchChunk, fn func(BatchResult) error) error {
+	if len(chunks) == 0 {
+		return fmt.Errorf("service: empty batch")
+	}
+	user := chunks[0].User
+	for _, ch := range chunks {
+		if ch.User != user {
+			user = ""
+			break
+		}
+	}
+
+	// The request body is a pipe fed as the server consumes it, so a
+	// large backlog is never materialised client-side: the server's
+	// in-flight window paces the encoder through the connection's flow
+	// control, mirroring the endpoint's own backpressure design. The
+	// buffer between encoder and pipe amortises the synchronous pipe
+	// handoff over ~tens of lines instead of paying it per chunk.
+	pr, pw := io.Pipe()
+	go func() {
+		bw := bufio.NewWriterSize(pw, 64<<10)
+		enc := json.NewEncoder(bw)
+		for _, ch := range chunks {
+			if err := enc.Encode(ch); err != nil {
+				pw.CloseWithError(fmt.Errorf("service: encoding batch chunk: %w", err))
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		pw.Close()
+	}()
+
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v2/traces", pr)
+	if err != nil {
+		pr.Close()
+		return fmt.Errorf("service: batch upload: %w", err)
+	}
+	req.Header.Set("Content-Type", NDJSONContentType)
+	if user != "" {
+		req.Header.Set(UserHeader, user)
+	}
+	if c.authToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.authToken)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: batch upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	results := 0
+	for dec.More() {
+		var res BatchResult
+		if err := dec.Decode(&res); err != nil {
+			return fmt.Errorf("service: decoding batch result %d: %w", results, err)
+		}
+		results++
+		if err := fn(res); err != nil {
+			return err
+		}
+	}
+	if results != len(chunks) {
+		return fmt.Errorf("service: server answered %d results for %d chunks", results, len(chunks))
+	}
+	return nil
+}
+
+// UploadBatch sends the chunks as one NDJSON batch and collects the
+// per-chunk results, in input order. The call succeeds as long as the
+// batch itself was processed; individual chunk failures are reported in
+// their BatchResult (Status/Code), not as an error.
+func (c *Client) UploadBatch(chunks []BatchChunk) ([]BatchResult, error) {
+	out := make([]BatchResult, 0, len(chunks))
+	err := c.UploadBatchStream(chunks, func(res BatchResult) error {
+		out = append(out, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DatasetQuery selects a page of GET /v2/dataset.
+type DatasetQuery struct {
+	// Cursor is the opaque next_cursor of the previous page ("" for the
+	// first page).
+	Cursor string
+	// Limit caps the page size (server default 100, max 1000).
+	Limit int
+	// User filters to one published pseudonym.
+	User string
+	// From / To window every trace to [From, To) unix seconds (0 =
+	// unbounded).
+	From, To int64
+	// IfNoneMatch revalidates against a previously returned ETag; on
+	// match the page comes back with NotModified set and no traces.
+	IfNoneMatch string
+}
+
+func (q DatasetQuery) values() url.Values {
+	vals := url.Values{}
+	if q.Cursor != "" {
+		vals.Set("cursor", q.Cursor)
+	}
+	if q.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.User != "" {
+		vals.Set("user", q.User)
+	}
+	if q.From != 0 {
+		vals.Set("from", strconv.FormatInt(q.From, 10))
+	}
+	if q.To != 0 {
+		vals.Set("to", strconv.FormatInt(q.To, 10))
+	}
+	return vals
+}
+
+// ClientDatasetPage is one fetched page plus its cache validator.
+type ClientDatasetPage struct {
+	DatasetPage
+	// ETag revalidates future fetches (DatasetQuery.IfNoneMatch).
+	ETag string
+	// NotModified is set when the server answered 304: the dataset has
+	// not changed since the presented ETag and Traces is empty.
+	NotModified bool
+}
+
+// DatasetPageV2 fetches one page of the published dataset.
+func (c *Client) DatasetPageV2(q DatasetQuery) (ClientDatasetPage, error) {
+	u := c.BaseURL + "/v2/dataset"
+	if vals := q.values(); len(vals) > 0 {
+		u += "?" + vals.Encode()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return ClientDatasetPage{}, fmt.Errorf("service: dataset page: %w", err)
+	}
+	if q.IfNoneMatch != "" {
+		req.Header.Set("If-None-Match", q.IfNoneMatch)
+	}
+	if c.authToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.authToken)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return ClientDatasetPage{}, fmt.Errorf("service: dataset page: %w", err)
+	}
+	defer resp.Body.Close()
+	page := ClientDatasetPage{ETag: resp.Header.Get("ETag")}
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		page.NotModified = true
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return page, nil
+	case http.StatusOK:
+		if err := json.NewDecoder(resp.Body).Decode(&page.DatasetPage); err != nil {
+			return ClientDatasetPage{}, fmt.Errorf("service: decoding dataset page: %w", err)
+		}
+		return page, nil
+	default:
+		return ClientDatasetPage{}, decodeError(resp)
+	}
+}
+
+// DatasetPages iterates the published dataset page by page, following
+// cursors until the final page. The yielded error, when non-nil, ends
+// the sequence.
+//
+//	for page, err := range client.DatasetPages(service.DatasetQuery{Limit: 500}) {
+//		if err != nil { ... }
+//		...
+//	}
+func (c *Client) DatasetPages(q DatasetQuery) iter.Seq2[ClientDatasetPage, error] {
+	return func(yield func(ClientDatasetPage, error) bool) {
+		q := q
+		q.IfNoneMatch = "" // revalidation would truncate the iteration
+		for {
+			page, err := c.DatasetPageV2(q)
+			if !yield(page, err) || err != nil {
+				return
+			}
+			if page.NextCursor == "" {
+				return
+			}
+			q.Cursor = page.NextCursor
+		}
+	}
+}
+
+// Jobs lists asynchronous upload jobs (GET /v2/jobs). Empty filters
+// select everything; limit 0 uses the server default.
+func (c *Client) Jobs(state, user string, limit int) (JobList, error) {
+	vals := url.Values{}
+	if state != "" {
+		vals.Set("state", state)
+	}
+	if user != "" {
+		vals.Set("user", user)
+	}
+	if limit > 0 {
+		vals.Set("limit", strconv.Itoa(limit))
+	}
+	u := c.BaseURL + "/v2/jobs"
+	if len(vals) > 0 {
+		u += "?" + vals.Encode()
+	}
+	resp, err := c.do(http.MethodGet, u, nil)
+	if err != nil {
+		return JobList{}, fmt.Errorf("service: jobs: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobList{}, decodeError(resp)
+	}
+	var out JobList
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return JobList{}, fmt.Errorf("service: decoding jobs: %w", err)
+	}
+	return out, nil
+}
+
+// OpenAPI fetches the server's generated OpenAPI document.
+func (c *Client) OpenAPI() (map[string]any, error) {
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/openapi.json", nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: openapi: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("service: decoding openapi document: %w", err)
+	}
+	return doc, nil
+}
+
+// UploadChunks uploads the trace as daily chunks through one batch
+// request with per-chunk idempotency keys derived from keyPrefix
+// (keyPrefix-0, keyPrefix-1, ...); an empty prefix disables keying. It
+// is the v2 replacement for UploadDaily: one connection, one auth and
+// rate-limit check, per-chunk results.
+func (c *Client) UploadChunks(t trace.Trace, keyPrefix string) ([]BatchResult, error) {
+	chunks := t.Chunks(24 * time.Hour)
+	batch := make([]BatchChunk, len(chunks))
+	for i, ch := range chunks {
+		batch[i] = BatchChunk{User: ch.User, Records: ch.Records}
+		if keyPrefix != "" {
+			batch[i].Key = keyPrefix + "-" + strconv.Itoa(i)
+		}
+	}
+	return c.UploadBatch(batch)
+}

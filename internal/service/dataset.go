@@ -1,0 +1,292 @@
+package service
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mood/internal/trace"
+	"mood/internal/traceio"
+)
+
+// GET /v2/dataset: the published dataset as a paginated resource. The
+// pre-redesign /v1/dataset re-assembled and re-serialized the whole
+// corpus on every request; v2 pages through a version-cached assembly
+// with an opaque cursor, filters by published pseudonym and time range,
+// negotiates JSON / CSV / NDJSON via Accept, and revalidates with an
+// ETag derived from the dataset version (fragment audit sequence +
+// quarantine generation) so polling consumers pay a 304, not a copy of
+// the corpus. The v1 endpoints stay mounted as shims over the same
+// cached assembly.
+
+// NextCursorHeader carries the next page cursor on non-JSON formats
+// (CSV and NDJSON bodies have no envelope to put it in).
+const NextCursorHeader = "X-Mood-Next-Cursor"
+
+// Dataset page defaults.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// DatasetPage is the JSON envelope of one GET /v2/dataset page.
+type DatasetPage struct {
+	Name   string        `json:"name"`
+	Traces []trace.Trace `json:"traces"`
+	// NextCursor, when non-empty, fetches the next page; its absence
+	// marks the final page. The cursor is opaque to clients.
+	NextCursor string `json:"next_cursor,omitempty"`
+	// TotalUsers is the number of traces matching the filters across
+	// all pages.
+	TotalUsers int `json:"total_users"`
+}
+
+// dsCacheEntry caches one assembled dataset keyed by its version, so
+// page requests against an unchanged corpus share a single assembly
+// instead of re-merging every fragment per request.
+type dsCacheEntry struct {
+	version string
+	ds      trace.Dataset
+}
+
+// datasetVersion identifies the published-dataset state: the fragment
+// audit sequence advances on every commit (and on restore, which
+// reissues it), the quarantine generation on every re-audit removal.
+func (s *Server) datasetVersion() string {
+	return strconv.FormatInt(s.fragSeq.Load(), 10) + "." + strconv.FormatInt(s.quarGen.Load(), 10)
+}
+
+// datasetETag is the weak validator served on dataset responses.
+func (s *Server) datasetETag(version string) string {
+	return `W/"mood-ds-` + version + `"`
+}
+
+// publishedDataset returns the assembled published dataset and the
+// version its ETag derives from. The version is read before the
+// snapshot, so a commit racing the assembly can only make the tag
+// conservative (a revalidation misses and refetches) — never let a 304
+// stand for missing data: equal versions imply identical state.
+func (s *Server) publishedDataset() (trace.Dataset, string) {
+	version := s.datasetVersion()
+	if e := s.dsCache.Load(); e != nil && e.version == version {
+		return e.ds, version
+	}
+	ds := trace.NewDataset("published", s.publishedSnapshot())
+	if s.datasetVersion() == version {
+		// Nothing changed while assembling: the cache entry is exact.
+		s.dsCache.Store(&dsCacheEntry{version: version, ds: ds})
+	}
+	return ds, version
+}
+
+// ---------------------------------------------------------------------------
+// The v1 shims (whole corpus per request, as before, but served from
+// the shared cache).
+
+func (s *Server) handleDatasetV1(w http.ResponseWriter, r *http.Request) {
+	// The published dataset is assembled fresh so fragment order never
+	// leaks upload order per user.
+	d, _ := s.publishedDataset()
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleDatasetCSVV1(w http.ResponseWriter, r *http.Request) {
+	d, _ := s.publishedDataset()
+	w.Header().Set("Content-Type", "text/csv")
+	if err := traceio.WriteCSV(w, d); err != nil {
+		// Too late for a status change; the truncated body signals the
+		// failure to the client-side CSV parser.
+		return
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The v2 paginated resource.
+
+// datasetQuery is the parsed query surface of GET /v2/dataset.
+type datasetQuery struct {
+	cursor   string // decoded: the last user of the previous page
+	limit    int
+	user     string
+	from, to int64 // half-open [from, to); 0 = unbounded
+	format   string
+}
+
+// Dataset formats, resolved from the Accept header.
+const (
+	formatJSON   = "json"
+	formatCSV    = "csv"
+	formatNDJSON = "ndjson"
+)
+
+func (s *Server) handleDatasetV2(w http.ResponseWriter, r *http.Request) {
+	q, errCode, errDetail := parseDatasetQuery(r)
+	if errCode != "" {
+		writeError(w, r, http.StatusBadRequest, errCode, errDetail)
+		return
+	}
+	if q.format == "" {
+		writeError(w, r, http.StatusNotAcceptable, CodeNotAcceptable,
+			"no supported media type in Accept (offer application/json, text/csv or "+NDJSONContentType+")")
+		return
+	}
+
+	ds, version := s.publishedDataset()
+	etag := s.datasetETag(version)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Vary", "Accept")
+	if inmMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	page := paginateDataset(ds, q)
+	switch q.format {
+	case formatCSV:
+		if page.NextCursor != "" {
+			w.Header().Set(NextCursorHeader, page.NextCursor)
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		traceio.WriteCSV(w, trace.Dataset{Name: page.Name, Traces: page.Traces}) //nolint:errcheck // headers are gone
+	case formatNDJSON:
+		if page.NextCursor != "" {
+			w.Header().Set(NextCursorHeader, page.NextCursor)
+		}
+		w.Header().Set("Content-Type", NDJSONContentType)
+		traceio.WriteJSONL(w, trace.Dataset{Name: page.Name, Traces: page.Traces}) //nolint:errcheck
+	default:
+		writeJSON(w, http.StatusOK, page)
+	}
+}
+
+// parseDatasetQuery validates the pagination and filter parameters.
+func parseDatasetQuery(r *http.Request) (q datasetQuery, errCode, errDetail string) {
+	vals := r.URL.Query()
+	q.limit = defaultPageLimit
+	if raw := vals.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > maxPageLimit {
+			return q, CodeBadRequest, fmt.Sprintf("limit must be an integer in 1..%d", maxPageLimit)
+		}
+		q.limit = n
+	}
+	if raw := vals.Get("cursor"); raw != "" {
+		dec, err := base64.RawURLEncoding.DecodeString(raw)
+		if err != nil {
+			return q, CodeBadCursor, "malformed cursor (use the next_cursor of the previous page verbatim)"
+		}
+		q.cursor = string(dec)
+	}
+	q.user = vals.Get("user")
+	for name, dst := range map[string]*int64{"from": &q.from, "to": &q.to} {
+		if raw := vals.Get(name); raw != "" {
+			ts, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return q, CodeBadRequest, name + " must be a unix timestamp in seconds"
+			}
+			*dst = ts
+		}
+	}
+	if q.from != 0 && q.to != 0 && q.to <= q.from {
+		return q, CodeBadRequest, "empty time range: to must be greater than from"
+	}
+	q.format = negotiateDatasetFormat(r.Header.Get("Accept"))
+	return q, "", ""
+}
+
+// negotiateDatasetFormat picks the response format from the Accept
+// header. Absent or wildcard Accept selects JSON; an Accept that names
+// none of the supported types returns "" (406). Quality factors are
+// honoured only as presence — the first supported type in header order
+// wins, which is what every real consumer of this endpoint sends.
+func negotiateDatasetFormat(accept string) string {
+	if accept == "" {
+		return formatJSON
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch strings.ToLower(mt) {
+		case "application/json", "application/*", "*/*":
+			return formatJSON
+		case "text/csv", "text/*":
+			return formatCSV
+		case NDJSONContentType, "application/jsonl", "application/ndjson":
+			return formatNDJSON
+		}
+	}
+	return ""
+}
+
+// inmMatches implements If-None-Match per RFC 9110 §13.1.2: weak
+// comparison against each listed validator, with "*" matching any
+// current representation.
+func inmMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	opaque := strings.TrimPrefix(etag, "W/")
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" {
+			return true
+		}
+		if strings.TrimPrefix(cand, "W/") == opaque {
+			return true
+		}
+	}
+	return false
+}
+
+// paginateDataset applies the filters, locates the cursor and cuts one
+// page. Traces are sorted by published pseudonym (NewDataset's
+// invariant), so the cursor is simply the last pseudonym of the
+// previous page and a page boundary can never skip or repeat a trace —
+// even across dataset versions, where re-assembly preserves the sort.
+func paginateDataset(ds trace.Dataset, q datasetQuery) DatasetPage {
+	traces := ds.Traces
+	if q.user != "" || q.from != 0 || q.to != 0 {
+		filtered := make([]trace.Trace, 0, len(traces))
+		from, to := q.from, q.to
+		if to == 0 {
+			to = math.MaxInt64
+		}
+		for _, t := range traces {
+			if q.user != "" && t.User != q.user {
+				continue
+			}
+			if q.from != 0 || q.to != 0 {
+				t = t.Window(from, to)
+				if t.Empty() {
+					continue
+				}
+			}
+			filtered = append(filtered, t)
+		}
+		traces = filtered
+	}
+
+	page := DatasetPage{Name: ds.Name, TotalUsers: len(traces)}
+	start := 0
+	if q.cursor != "" {
+		start = sort.Search(len(traces), func(i int) bool { return traces[i].User > q.cursor })
+	}
+	end := start + q.limit
+	if end > len(traces) {
+		end = len(traces)
+	}
+	page.Traces = traces[start:end]
+	if page.Traces == nil {
+		page.Traces = []trace.Trace{}
+	}
+	if end < len(traces) {
+		page.NextCursor = base64.RawURLEncoding.EncodeToString([]byte(traces[end-1].User))
+	}
+	return page
+}

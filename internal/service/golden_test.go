@@ -1,0 +1,259 @@
+package service
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mood/internal/clock"
+	"mood/internal/core"
+	"mood/internal/trace"
+)
+
+// The /v1 compatibility contract: these fixtures were captured from the
+// wire protocol as it existed before the /v2 redesign (run with -update
+// against the pre-redesign tree; do NOT regenerate casually — the whole
+// point is that the v1 shim over the v2 handlers answers byte-identically).
+// Each case pins the status, the protocol-relevant headers and the exact
+// body. New, purely additive headers (Deprecation, Link, Allow) are
+// allowed to appear; pinned headers must keep their recorded values.
+var updateGolden = flag.Bool("update", false, "rewrite the v1 golden fixtures from the current implementation")
+
+// goldenFixture is the persisted form of one pinned exchange.
+type goldenFixture struct {
+	Status  int               `json:"status"`
+	Headers map[string]string `json:"headers"`
+	Body    string            `json:"body"`
+}
+
+// pinnedHeaders are the headers the v1 contract promises; anything else
+// (Date, Content-Length, transport noise, and the new deprecation
+// headers) is ignored by the comparison.
+var pinnedHeaders = []string{
+	"Content-Type",
+	"Retry-After",
+	IdempotencyReplayHeader,
+	"WWW-Authenticate",
+}
+
+// goldenCase is one request in the replay script. Cases against the same
+// server run in order, so stateful sequences (upload then replay, then
+// stats) are deterministic.
+type goldenCase struct {
+	name   string
+	method string
+	path   string
+	body   string
+	header map[string]string
+}
+
+func goldenUploadBody(user string, n int) string {
+	req := UploadRequest{User: user, Records: sampleRecords(n)}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// mainGoldenCases is the replay script for the default server. Order
+// matters: the trailing /v1/metrics capture pins the labels of every
+// request before it.
+func mainGoldenCases() []goldenCase {
+	return []goldenCase{
+		{name: "healthz", method: "GET", path: "/healthz"},
+		{name: "upload_ok", method: "POST", path: "/v1/upload", body: goldenUploadBody("alice", 5),
+			header: map[string]string{IdempotencyKeyHeader: "k1", UserHeader: "alice"}},
+		{name: "upload_replay", method: "POST", path: "/v1/upload", body: goldenUploadBody("alice", 5),
+			header: map[string]string{IdempotencyKeyHeader: "k1", UserHeader: "alice"}},
+		{name: "upload_key_reuse", method: "POST", path: "/v1/upload", body: goldenUploadBody("alice", 3),
+			header: map[string]string{IdempotencyKeyHeader: "k1", UserHeader: "alice"}},
+		{name: "upload_bad_json", method: "POST", path: "/v1/upload", body: `{nope`},
+		{name: "upload_no_records", method: "POST", path: "/v1/upload", body: `{"user":"bob","records":[]}`},
+		{name: "upload_bad_user", method: "POST", path: "/v1/upload",
+			body: `{"user":"bad/user","records":[{"lat":45,"lon":4,"ts":1}]}`},
+		{name: "upload_missing_user", method: "POST", path: "/v1/upload",
+			body: `{"records":[{"lat":45,"lon":4,"ts":1}]}`},
+		{name: "upload_bad_async", method: "POST", path: "/v1/upload?async=nope", body: goldenUploadBody("bob", 2)},
+		{name: "upload_long_key", method: "POST", path: "/v1/upload", body: goldenUploadBody("bob", 2),
+			header: map[string]string{IdempotencyKeyHeader: strings.Repeat("k", maxIdempotencyKeyLen+1)}},
+		{name: "upload_header_mismatch", method: "POST", path: "/v1/upload", body: goldenUploadBody("bob", 2),
+			header: map[string]string{UserHeader: "mallory"}},
+		{name: "upload_all_rejected", method: "POST", path: "/v1/upload", body: goldenUploadBody("reject-carol", 4)},
+		{name: "upload_engine_error", method: "POST", path: "/v1/upload", body: goldenUploadBody("boom-dave", 2)},
+		{name: "stats", method: "GET", path: "/v1/stats"},
+		{name: "user_alice", method: "GET", path: "/v1/users/alice"},
+		{name: "user_unknown", method: "GET", path: "/v1/users/ghost"},
+		{name: "user_missing_id", method: "GET", path: "/v1/users/"},
+		{name: "user_nested_path", method: "GET", path: "/v1/users/a/b"},
+		{name: "job_missing_id", method: "GET", path: "/v1/jobs/"},
+		{name: "job_unknown", method: "GET", path: "/v1/jobs/nope"},
+		{name: "dataset", method: "GET", path: "/v1/dataset"},
+		{name: "dataset_csv", method: "GET", path: "/v1/dataset.csv"},
+		{name: "metrics", method: "GET", path: "/v1/metrics"},
+		{name: "retrain_unconfigured", method: "POST", path: "/v1/admin/retrain"},
+	}
+}
+
+// TestV1Golden replays the pinned v1 exchanges through the live handler
+// stack and compares every response against its fixture.
+func TestV1Golden(t *testing.T) {
+	t.Run("main", func(t *testing.T) {
+		srv, err := New(&fakeProtector{}, WithClock(clock.NewManual(time.Unix(0, 0))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		runGoldenCases(t, srv.Handler(), mainGoldenCases())
+	})
+
+	t.Run("auth", func(t *testing.T) {
+		srv, err := New(&fakeProtector{}, WithClock(clock.NewManual(time.Unix(0, 0))), WithAuthToken("sesame"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		runGoldenCases(t, srv.Handler(), []goldenCase{
+			{name: "auth_healthz_open", method: "GET", path: "/healthz"},
+			{name: "auth_missing_token", method: "GET", path: "/v1/stats"},
+			{name: "auth_ok", method: "GET", path: "/v1/stats",
+				header: map[string]string{"Authorization": "Bearer sesame"}},
+		})
+	})
+
+	t.Run("throttle", func(t *testing.T) {
+		srv, err := New(&fakeProtector{}, WithClock(clock.NewManual(time.Unix(0, 0))), WithRateLimit(1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		runGoldenCases(t, srv.Handler(), []goldenCase{
+			{name: "throttle_first_ok", method: "GET", path: "/v1/stats"},
+			{name: "throttle_429", method: "GET", path: "/v1/stats"},
+		})
+	})
+
+	t.Run("shed", func(t *testing.T) {
+		release := make(chan struct{})
+		entered := make(chan struct{}, 8)
+		srv, err := New(blockingProtector{entered: entered, release: release},
+			WithClock(clock.NewManual(time.Unix(0, 0))), WithWorkers(1), WithQueueDepth(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		defer close(release) // before srv.Close (LIFO), so the worker can drain
+		h := srv.Handler()
+
+		// Occupy the single worker, then the single queue slot, with
+		// async uploads (their 202 bodies carry random job IDs, so they
+		// are not pinned); the third upload is shed deterministically.
+		for i := 0; i < 2; i++ {
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest("POST", "/v1/upload?async=1",
+				strings.NewReader(goldenUploadBody(fmt.Sprintf("filler-%d", i), 2)))
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusAccepted {
+				t.Fatalf("filler upload %d: got %d, want 202", i, rec.Code)
+			}
+			if i == 0 {
+				<-entered // the worker holds job 0; job 1 will occupy the queue slot
+			}
+		}
+		runGoldenCases(t, h, []goldenCase{
+			{name: "shed_503", method: "POST", path: "/v1/upload", body: goldenUploadBody("late", 2)},
+		})
+	})
+}
+
+// blockingProtector parks the worker until released so queue-full
+// shedding can be staged deterministically.
+type blockingProtector struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (p blockingProtector) Protect(t trace.Trace) (core.Result, error) {
+	p.entered <- struct{}{}
+	<-p.release
+	return core.Result{User: t.User, TotalRecords: t.Len(), LostRecords: t.Len()}, nil
+}
+
+func runGoldenCases(t *testing.T, h http.Handler, cases []goldenCase) {
+	t.Helper()
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		var body io.Reader
+		if c.body != "" {
+			body = strings.NewReader(c.body)
+		}
+		req := httptest.NewRequest(c.method, c.path, body)
+		if c.body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, v := range c.header {
+			req.Header.Set(k, v)
+		}
+		h.ServeHTTP(rec, req)
+
+		got := goldenFixture{
+			Status:  rec.Code,
+			Headers: map[string]string{},
+			Body:    rec.Body.String(),
+		}
+		for _, hk := range pinnedHeaders {
+			if v := rec.Header().Get(hk); v != "" {
+				got.Headers[hk] = v
+			}
+		}
+
+		path := filepath.Join("testdata", "golden", c.name+".json")
+		if *updateGolden {
+			data, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing fixture (run with -update on the pre-redesign tree): %v", c.name, err)
+		}
+		var want goldenFixture
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatalf("%s: corrupt fixture: %v", c.name, err)
+		}
+		if got.Status != want.Status {
+			t.Errorf("%s: status = %d, want %d (body %q)", c.name, got.Status, want.Status, got.Body)
+		}
+		if got.Body != want.Body {
+			t.Errorf("%s: body mismatch\n got: %q\nwant: %q", c.name, got.Body, want.Body)
+		}
+		var keys []string
+		for k := range want.Headers {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if gv := got.Headers[k]; gv != want.Headers[k] {
+				t.Errorf("%s: header %s = %q, want %q", c.name, k, gv, want.Headers[k])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"hash/fnv"
@@ -327,17 +328,18 @@ func (st *idemStore) evictLocked() {
 	st.order = kept
 }
 
-// replayUpload answers a request whose (user, key) already executed or
-// is executing. Async originals are answered with their job status;
-// sync originals with the original response, waiting for it when the
+// replayChunk answers a chunk whose (user, key) already executed or is
+// executing. Async originals are answered with their job status; sync
+// originals with the original response, waiting for it when the
 // original is still in flight (the retry-after-timeout case the
-// idempotency window exists for).
-func (s *Server) replayUpload(w http.ResponseWriter, r *http.Request, user string, e *idemEntry, async bool) {
-	w.Header().Set(IdempotencyReplayHeader, "true")
+// idempotency window exists for). Every outcome carries the replay
+// mark (the v1 shim renders it as X-Mood-Idempotency-Replay, the batch
+// endpoint as the result line's "replay" field).
+func (s *Server) replayChunk(ctx context.Context, user string, e *idemEntry, async bool) chunkOutcome {
+	mark := func(out chunkOutcome) chunkOutcome { out.replay = true; return out }
 	if jid := s.idem.jobOf(e); jid != "" {
 		if j, ok := s.jobs.get(jid); ok {
-			writeJSON(w, http.StatusAccepted, j)
-			return
+			return mark(chunkOutcome{status: http.StatusAccepted, job: &j})
 		}
 		// Job evicted from the job store. Async originals complete their
 		// entry before the job is marked finished (and only finished jobs
@@ -349,8 +351,7 @@ func (s *Server) replayUpload(w http.ResponseWriter, r *http.Request, user strin
 				if err != nil {
 					j = JobStatus{ID: jid, User: user, State: JobFailed, Error: err.Error()}
 				}
-				writeJSON(w, http.StatusOK, j)
-				return
+				return mark(chunkOutcome{status: http.StatusOK, job: &j})
 			}
 		}
 		// Sync caller (or an impossible incomplete entry): fall through
@@ -360,41 +361,40 @@ func (s *Server) replayUpload(w http.ResponseWriter, r *http.Request, user strin
 		// An async caller must not block on a sync original; answer from
 		// the entry if it is done, shed otherwise.
 		if resp, ok, err := s.idem.outcome(e); ok {
-			writeReplayOutcome(w, resp, err)
-			return
+			return mark(replayDone(resp, err))
 		}
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "original upload still in progress")
-		return
+		return mark(chunkOutcome{status: http.StatusServiceUnavailable, code: CodeQueueFull,
+			detail: "original upload still in progress", retryAfter: true})
 	}
 	select {
 	case <-e.done:
-		writeReplayOutcome(w, e.resp, e.err)
-	case <-r.Context().Done():
-		// Same contract as dispatchSync: the original still runs; the
-		// key stays registered, so the next retry replays again.
-		httpError(w, http.StatusServiceUnavailable, "request cancelled before protection finished")
+		return mark(replayDone(e.resp, e.err))
+	case <-ctx.Done():
+		// Same contract as the sync dispatch path: the original still
+		// runs; the key stays registered, so the next retry replays
+		// again.
+		return mark(chunkOutcome{status: http.StatusServiceUnavailable, code: CodeCancelled,
+			detail: "request cancelled before protection finished"})
 	case <-s.pool.drained:
 		if resp, ok, err := s.idem.outcome(e); ok {
-			writeReplayOutcome(w, resp, err)
-			return
+			return mark(replayDone(resp, err))
 		}
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return mark(chunkOutcome{status: http.StatusServiceUnavailable, code: CodeShuttingDown,
+			detail: "server shutting down"})
 	}
 }
 
-// writeReplayOutcome maps a completed original's outcome onto the retry:
-// a shed original was never executed, so the replayer gets the same
-// 503 + Retry-After the original caller saw (not a 500, which retrying
+// replayDone maps a completed original's outcome onto the retry: a shed
+// original was never executed, so the replayer gets the same 503 +
+// Retry-After the original caller saw (not a 500, which retrying
 // clients treat as fatal); real engine failures stay 500s.
-func writeReplayOutcome(w http.ResponseWriter, resp UploadResponse, err error) {
+func replayDone(resp UploadResponse, err error) chunkOutcome {
 	switch {
 	case errors.Is(err, errUploadShed):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "upload queue full")
+		return shedOutcome()
 	case err != nil:
-		httpError(w, http.StatusInternalServerError, err.Error())
+		return chunkOutcome{status: http.StatusInternalServerError, code: CodeInternal, detail: err.Error()}
 	default:
-		writeJSON(w, http.StatusOK, resp)
+		return chunkOutcome{status: http.StatusOK, resp: &resp}
 	}
 }

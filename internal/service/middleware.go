@@ -15,16 +15,25 @@ import (
 // wraps a handler and returns the wrapped handler. Layers compose with
 // Chain in a fixed, documented order (outermost first):
 //
-//	Metrics -> Recover -> Timeout -> Auth -> RateLimit -> mux
+//	Resolve -> Metrics -> Recover -> Timeout -> Auth -> RateLimit -> mux
 //
-// Metrics sit outermost so every response is recorded with the status
-// the client actually received — 500s from recovered panics, 503s from
-// the timeout layer, 401s from auth, 429s from the limiter. Recovery
-// wraps everything below it so a panic anywhere still yields a 500;
-// the timeout bounds everything that can block; auth runs before the
-// rate limiter so unauthenticated junk is turned away with 401 without
-// ever touching limiter state — otherwise a tokenless attacker could
-// drain a victim's bucket just by naming them in X-Mood-User.
+// Resolve matches the request against the declarative route table once
+// and stashes the row in the context; every layer below reads its
+// behaviour — exemptions, rate-limit key shape, metrics label, error
+// dialect — from that row instead of re-deriving it from the path.
+// Metrics sit outermost (below Resolve) so every response is recorded
+// with the status the client actually received — 500s from recovered
+// panics, 503s from the timeout layer, 401s from auth, 429s from the
+// limiter. Recovery wraps everything below it so a panic anywhere
+// still yields a 500; the timeout bounds everything that can block;
+// auth runs before the rate limiter so unauthenticated junk is turned
+// away with 401 without ever touching limiter state — otherwise a
+// tokenless attacker could drain a victim's bucket just by naming them
+// in X-Mood-User.
+//
+// The exported constructors (Recover, Timeout, Auth, RateLimit) remain
+// usable in hand-built chains without the resolver layer; they then
+// fall back to the historical path-prefix behaviour.
 type Middleware func(http.Handler) http.Handler
 
 // Chain applies the middlewares to h in the given order: the first
@@ -39,16 +48,17 @@ func Chain(h http.Handler, mws ...Middleware) http.Handler {
 // UserHeader carries the participant ID on API requests so admission
 // control (per-user rate limiting) can run before the JSON body is
 // parsed. The Client sets it automatically. The header is self-declared
-// identity, like the upload body's "user" field — the upload handler
-// rejects requests where the two disagree, so a client cannot spend one
-// user's rate budget while uploading as another.
+// identity, like the upload body's "user" field — the upload and batch
+// handlers reject requests where the two disagree, so a client cannot
+// spend one user's rate budget while uploading as another.
 const UserHeader = "X-Mood-User"
 
 // ---------------------------------------------------------------------------
 // Panic recovery.
 
-// Recover converts a handler panic into a 500 JSON error instead of
-// killing the connection (and, under some servers, the process).
+// Recover converts a handler panic into a 500 error instead of killing
+// the connection (and, under some servers, the process). The body is
+// rendered in the dialect of the matched route (problem+json on v2).
 // http.ErrAbortHandler is re-panicked as the contract requires.
 func Recover() Middleware {
 	return func(next http.Handler) http.Handler {
@@ -58,7 +68,7 @@ func Recover() Middleware {
 					if p == http.ErrAbortHandler {
 						panic(p)
 					}
-					httpError(w, http.StatusInternalServerError, "internal error")
+					writeError(w, r, http.StatusInternalServerError, CodeInternal, "internal error")
 				}
 			}()
 			next.ServeHTTP(w, r)
@@ -70,27 +80,50 @@ func Recover() Middleware {
 // Request timeout.
 
 // Timeout bounds the request with http.TimeoutHandler: the client gets
-// a 503 JSON error after d even if the protection engine is still
-// grinding, and the request context below is cancelled. The dataset
-// download routes are exempt: TimeoutHandler buffers the entire
-// response in memory, which for a large published dataset would trade
-// streaming for a per-request copy of the whole payload.
+// a 503 error after d even if the protection engine is still grinding,
+// and the request context below is cancelled. Routes the table marks
+// noTimeout are exempt: TimeoutHandler buffers the entire response in
+// memory, which would break the streaming batch endpoint outright and
+// trade a large dataset download's streaming for a per-request copy of
+// the whole payload.
 func Timeout(d time.Duration) Middleware {
-	const msg = `{"error":"request timed out"}`
+	const legacyMsg = `{"error":"request timed out"}`
+	problemMsg := problemBody(http.StatusServiceUnavailable, CodeTimeout, "request timed out")
 	return func(next http.Handler) http.Handler {
-		th := http.TimeoutHandler(next, d, msg)
+		thLegacy := http.TimeoutHandler(next, d, legacyMsg)
+		thProblem := http.TimeoutHandler(next, d, problemMsg)
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if r.URL.Path == "/v1/dataset" || r.URL.Path == "/v1/dataset.csv" {
+			rt := routeOf(r)
+			if rt == nil {
+				// Hand-built chain without the resolver (or an unmatched
+				// path): historical behaviour — dataset downloads exempt,
+				// /v1/ errors typed as JSON.
+				if r.URL.Path == "/v1/dataset" || r.URL.Path == "/v1/dataset.csv" {
+					next.ServeHTTP(w, r)
+					return
+				}
+				if strings.HasPrefix(r.URL.Path, "/v1/") {
+					w.Header().Set("Content-Type", "application/json")
+				}
+				thLegacy.ServeHTTP(w, r)
+				return
+			}
+			if rt.noTimeout {
 				next.ServeHTTP(w, r)
 				return
 			}
-			if strings.HasPrefix(r.URL.Path, "/v1/") {
-				// Pre-set the type on the outer writer so the timeout
-				// 503 body is served as JSON like every other API
-				// error; successful inner responses overwrite it.
+			// Pre-set the type on the outer writer so the timeout 503
+			// body is served in the route's dialect; successful inner
+			// responses overwrite it.
+			if rt.problem {
+				w.Header().Set("Content-Type", ProblemContentType)
+				thProblem.ServeHTTP(w, r)
+				return
+			}
+			if rt.isV1() {
 				w.Header().Set("Content-Type", "application/json")
 			}
-			th.ServeHTTP(w, r)
+			thLegacy.ServeHTTP(w, r)
 		})
 	}
 }
@@ -100,13 +133,14 @@ func Timeout(d time.Duration) Middleware {
 
 // RateLimit admits at most rps requests per second per user with the
 // given burst, answering 429 with a Retry-After hint otherwise.
-// Uploads are keyed by the X-Mood-User header (which the upload
-// handler verifies against the body, so it cannot be rotated to mint
-// fresh buckets); every other request is keyed by client IP so
-// scrapes cannot dodge the limiter with self-declared identities.
-// Probe and poll endpoints (/healthz, /v1/metrics, /v1/jobs/) stay
-// exempt: they are O(1) in-memory reads, and throttling the async
-// poll loop would turn accepted uploads into client-side failures.
+// Upload routes (the table's userKeyed rows) are keyed by the
+// X-Mood-User header (which the handlers verify against the payload, so
+// it cannot be rotated to mint fresh buckets); every other request is
+// keyed by client IP so scrapes cannot dodge the limiter with
+// self-declared identities. Probe and poll routes (the table's noLimit
+// rows: /healthz, metrics, job polling, the OpenAPI document) stay
+// exempt: they are O(1) in-memory reads, and throttling the async poll
+// loop would turn accepted uploads into client-side failures.
 // The clock drives refill; embedders composing chains by hand pass the
 // same clock they give the server (clock.System() in production) so
 // manual-clock tests can step the limiter.
@@ -185,17 +219,27 @@ func (rl *rateLimiter) sweepLocked(now time.Time) {
 	}
 }
 
+// limitExempt reports whether the request skips the limiter: the
+// table's noLimit flag when a route matched, the historical prefix
+// list otherwise.
+func limitExempt(r *http.Request) bool {
+	if rt := routeOf(r); rt != nil {
+		return rt.noLimit
+	}
+	return r.URL.Path == "/healthz" || r.URL.Path == "/v1/metrics" ||
+		strings.HasPrefix(r.URL.Path, "/v1/jobs/")
+}
+
 func (rl *rateLimiter) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" || r.URL.Path == "/v1/metrics" ||
-			strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+		if limitExempt(r) {
 			next.ServeHTTP(w, r)
 			return
 		}
 		ok, wait := rl.allow(rateKey(r))
 		if !ok {
 			w.Header().Set("Retry-After", retryAfterSeconds(wait))
-			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			writeError(w, r, http.StatusTooManyRequests, CodeRateLimited, "rate limit exceeded")
 			return
 		}
 		next.ServeHTTP(w, r)
@@ -207,15 +251,22 @@ func rateKey(r *http.Request) string {
 	if err != nil {
 		host = r.RemoteAddr
 	}
-	// Only uploads key on self-declared identity, and always combined
-	// with the source IP: the handler rejects a header/body mismatch,
-	// so the header cannot be rotated to mint fresh buckets for real
-	// uploads, and the IP component stops a client from burning a
-	// victim's budget by naming them from elsewhere. Residual risk: a
-	// client sharing the victim's IP (NAT) can still burn the shared
-	// bucket with mismatched requests, since the 400 happens after the
-	// debit; exact accounting there needs authenticated identity.
-	if r.Method == http.MethodPost && r.URL.Path == "/v1/upload" {
+	// Only upload routes key on self-declared identity, and always
+	// combined with the source IP: the handlers reject a header/payload
+	// mismatch, so the header cannot be rotated to mint fresh buckets
+	// for real uploads, and the IP component stops a client from
+	// burning a victim's budget by naming them from elsewhere. Residual
+	// risk: a client sharing the victim's IP (NAT) can still burn the
+	// shared bucket with mismatched requests, since the 400 happens
+	// after the debit; exact accounting there needs authenticated
+	// identity.
+	userKeyed := false
+	if rt := routeOf(r); rt != nil {
+		userKeyed = rt.userKeyed
+	} else {
+		userKeyed = r.Method == http.MethodPost && r.URL.Path == "/v1/upload"
+	}
+	if userKeyed {
 		if u := r.Header.Get(UserHeader); u != "" {
 			return "user:" + u + "|ip:" + host
 		}
@@ -246,7 +297,7 @@ type RouteMetrics struct {
 	AvgMillis float64 `json:"avg_ms"`
 }
 
-// MetricsSnapshot is the GET /v1/metrics payload.
+// MetricsSnapshot is the GET /v2/metrics payload.
 type MetricsSnapshot struct {
 	// Routes maps "METHOD /path" (IDs collapsed to {id}) to counters.
 	Routes map[string]RouteMetrics `json:"routes"`
@@ -268,7 +319,9 @@ func (m *requestMetrics) middleware(next http.Handler) http.Handler {
 		start := m.clk.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		// Observe in a defer so even a panic unwinding through this
-		// layer leaves the request counted.
+		// layer leaves the request counted. The label comes from the
+		// resolved route (routes.go), so the route space stays bounded
+		// no matter what paths or methods clients invent.
 		defer func() {
 			m.observe(metricRoute(r), sw.code, m.clk.Since(start))
 		}()
@@ -312,31 +365,6 @@ func (m *requestMetrics) Snapshot() MetricsSnapshot {
 	return out
 }
 
-// metricRoute collapses per-entity path segments and buckets anything
-// off the known route map as "other", so the route space stays bounded
-// no matter what paths or methods clients invent.
-func metricRoute(r *http.Request) string {
-	path := r.URL.Path
-	switch {
-	case strings.HasPrefix(path, "/v1/users/"):
-		path = "/v1/users/{id}"
-	case strings.HasPrefix(path, "/v1/jobs/"):
-		path = "/v1/jobs/{id}"
-	case path == "/v1/upload", path == "/v1/dataset", path == "/v1/dataset.csv",
-		path == "/v1/stats", path == "/v1/metrics", path == "/healthz":
-	default:
-		path = "other"
-	}
-	method := r.Method
-	switch method {
-	case http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete,
-		http.MethodHead, http.MethodOptions, http.MethodPatch:
-	default:
-		method = "OTHER"
-	}
-	return method + " " + path
-}
-
 // statusWriter records the status code written downstream.
 type statusWriter struct {
 	http.ResponseWriter
@@ -357,11 +385,28 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards streaming flushes (the batch endpoint) through the
+// metrics wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		w.wrote = true
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// controls without a forwarding method here (EnableFullDuplex, the
+// deadline setters) reach the server's writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
+}
+
 // ---------------------------------------------------------------------------
 // Bearer-token auth (chain form of the historical WithAuth wrapper).
 
 // Auth requires "Authorization: Bearer <token>" on every request except
-// the liveness probe. Comparison is constant-time (see auth.go).
+// the routes the table marks noAuth (the liveness probe and the OpenAPI
+// document). Comparison is constant-time (see auth.go).
 func Auth(token string) Middleware {
 	return func(next http.Handler) http.Handler {
 		return WithAuth(token, next)

@@ -198,7 +198,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	if !ok || users.Status["404"] != 1 {
 		t.Fatalf("user route metrics = %+v", users)
 	}
-	if _, ok := snap.Routes["GET /v1/stats"]; !ok {
+	// The typed client talks v2 for reads; the label comes from the
+	// route table.
+	if _, ok := snap.Routes["GET /v2/stats"]; !ok {
 		t.Fatalf("stats route missing: %v", snap.Routes)
 	}
 }

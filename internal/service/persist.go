@@ -36,7 +36,13 @@ type persistedState struct {
 	// that straddles a restart replays the original outcome instead of
 	// committing the chunk twice.
 	Idempotency []persistedIdem `json:"idempotency,omitempty"`
-	Retrains    int64           `json:"retrains,omitempty"`
+	// Jobs carries the terminal (done/failed) async job handles so
+	// GET /v2/jobs/{id} keeps answering for completed uploads after a
+	// restart. Queued/running handles are still process-local: they
+	// drain before the shutdown snapshot, and a periodic snapshot
+	// cannot vouch for them.
+	Jobs     []JobStatus `json:"jobs,omitempty"`
+	Retrains int64       `json:"retrains,omitempty"`
 }
 
 // SaveState writes the server's published dataset and accounting to
@@ -47,16 +53,20 @@ type persistedState struct {
 func (s *Server) SaveState(path string) error {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
-	// The idempotency table is captured *before* the shard snapshot: an
-	// upload completes its entry only after committing to its shard, so
-	// every entry in the earlier capture has its records in the later
-	// one. The opposite order could persist an entry whose commit the
-	// shard snapshot missed — after a restore, the client's retry would
-	// replay a 200 for records that are in neither the dataset nor the
-	// accounting (silent loss behind an OK). This order's only tear is
-	// a commit without its entry, which makes the retry re-execute: a
-	// possible duplicate, which is the pipeline's documented
-	// at-least-once behaviour for unkeyed retries anyway.
+	// Capture order is monotone with the pipeline's completion order:
+	// jobs first, then the idempotency table, then the shards. A job is
+	// marked terminal only after its idempotency entry completed, and
+	// an entry completes only after the commit — so every terminal job
+	// in the earlier capture has its entry in the next one, and every
+	// entry has its records in the shard snapshot. The opposite order
+	// could persist an entry whose commit the shard snapshot missed —
+	// after a restore, the client's retry would replay a 200 for
+	// records that are in neither the dataset nor the accounting
+	// (silent loss behind an OK). This order's only tear is a commit
+	// without its entry, which makes the retry re-execute: a possible
+	// duplicate, which is the pipeline's documented at-least-once
+	// behaviour for unkeyed retries anyway.
+	jobs := s.jobs.terminal()
 	idem := s.idem.snapshot()
 	published, history, users, stats := s.fullSnapshot()
 	frags := make([]persistedFrag, len(published))
@@ -70,6 +80,7 @@ func (s *Server) SaveState(path string) error {
 		Pseudo:      int(s.pseudo.Load()),
 		History:     history,
 		Idempotency: idem,
+		Jobs:        jobs,
 		Retrains:    s.retrains.Load(),
 	}
 
@@ -124,6 +135,7 @@ func (s *Server) LoadState(path string) error {
 
 	s.resetShards(frags, state.History, state.Users)
 	s.idem.restore(state.Idempotency)
+	s.jobs.restore(state.Jobs)
 	s.pseudo.Store(int64(state.Pseudo))
 	s.retrains.Store(state.Retrains)
 	return nil

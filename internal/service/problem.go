@@ -1,0 +1,106 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// RFC 7807 errors for the /v2 surface. Every v2 error body is an
+// application/problem+json document with a stable, machine-readable
+// Code — clients branch on Code (or Status), never on Detail, which is
+// free to change. The /v1 shim keeps the historical {"error": "..."}
+// bodies; writeError picks the rendering from the matched route, so a
+// handler shared between the two surfaces emits the right dialect
+// without knowing which one it is serving.
+
+// ProblemContentType is the RFC 7807 media type served on v2 errors.
+const ProblemContentType = "application/problem+json"
+
+// Problem is the RFC 7807 error document of the v2 wire protocol.
+type Problem struct {
+	// Type is a URI reference identifying the problem class; MooD uses
+	// stable relative URIs of the form "/v2/problems/{code}".
+	Type string `json:"type"`
+	// Title is the human-readable summary of the problem class (the
+	// HTTP status text; constant per Type).
+	Title string `json:"title"`
+	// Status echoes the HTTP status code.
+	Status int `json:"status"`
+	// Code is the stable machine-readable discriminator, unique per
+	// problem class. Clients should branch on it.
+	Code string `json:"code"`
+	// Detail is the human-readable, occurrence-specific explanation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Stable problem codes. These are wire contract: a code, once shipped,
+// never changes meaning.
+const (
+	CodeBadRequest        = "bad_request"
+	CodeInvalidUser       = "invalid_user"
+	CodeUserMismatch      = "user_mismatch"
+	CodeEmptyChunk        = "empty_chunk"
+	CodeInvalidTrace      = "invalid_trace"
+	CodeBadChunk          = "bad_chunk"
+	CodeEmptyBatch        = "empty_batch"
+	CodeChunkTooLarge     = "chunk_too_large"
+	CodeBatchTooLarge     = "batch_too_large"
+	CodeKeyTooLong        = "idempotency_key_too_long"
+	CodeKeyReuse          = "idempotency_key_reuse"
+	CodeQueueFull         = "queue_full"
+	CodeRateLimited       = "rate_limited"
+	CodeUnauthorized      = "unauthorized"
+	CodeNotFound          = "not_found"
+	CodeMethodNotAllowed  = "method_not_allowed"
+	CodeNotAcceptable     = "not_acceptable"
+	CodeBadCursor         = "bad_cursor"
+	CodeCancelled         = "cancelled"
+	CodeShuttingDown      = "shutting_down"
+	CodeTimeout           = "timeout"
+	CodeInternal          = "internal_error"
+	CodeRetrainInProgress = "retrain_in_progress"
+	CodeRetrainMissing    = "retrain_unconfigured"
+)
+
+// newProblem assembles the RFC 7807 document for one occurrence.
+func newProblem(status int, code, detail string) Problem {
+	return Problem{
+		Type:   "/v2/problems/" + code,
+		Title:  http.StatusText(status),
+		Status: status,
+		Code:   code,
+		Detail: detail,
+	}
+}
+
+// writeProblem renders p as application/problem+json.
+func writeProblem(w http.ResponseWriter, p Problem) {
+	w.Header().Set("Content-Type", ProblemContentType)
+	w.WriteHeader(p.Status)
+	enc := json.NewEncoder(w)
+	enc.Encode(p) //nolint:errcheck // headers are gone; nothing left to do
+}
+
+// writeError answers an error in the dialect of the matched route:
+// problem+json with the stable code on /v2, the historical
+// {"error": detail} body on /v1 (and on requests that matched no route,
+// where the legacy shape is the conservative default for old clients
+// probing unknown paths). The detail text is shared verbatim between
+// the two dialects.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, detail string) {
+	if rt := routeOf(r); rt != nil && rt.problem {
+		writeProblem(w, newProblem(status, code, detail))
+		return
+	}
+	httpError(w, status, detail)
+}
+
+// problemBody renders the fixed problem document used where a body must
+// be prepared ahead of time (the timeout layer's canned 503).
+func problemBody(status int, code, detail string) string {
+	b, err := json.Marshal(newProblem(status, code, detail))
+	if err != nil {
+		return `{"error":"` + detail + `"}`
+	}
+	return string(b)
+}

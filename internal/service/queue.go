@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -124,6 +126,27 @@ func (p *workerPool) tryEnqueue(j *uploadJob) bool {
 	case p.queue <- j:
 		return true
 	default:
+		return false
+	}
+}
+
+// enqueueWait blocks until the job is accepted, the context ends or the
+// pool stops — the batch endpoint's backpressure mode. Holding the read
+// lock across the blocking send is safe: close() cannot take the write
+// lock until we return, and the workers keep draining the queue until
+// close() proceeds, so the send always completes or the context fires.
+func (p *workerPool) enqueueWait(ctx context.Context, j *uploadJob) bool {
+	p.stopMu.RLock()
+	defer p.stopMu.RUnlock()
+	if p.stopped {
+		return false
+	}
+	select {
+	case p.queue <- j:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-p.stop:
 		return false
 	}
 }
@@ -383,20 +406,130 @@ func (s *Server) protect(p Protector, t trace.Trace) (res core.Result, err error
 	return res, nil
 }
 
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
+// handleJobGet serves GET /v{1,2}/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.serveJob(w, r, r.PathValue("id"))
+}
+
+// handleJobFallback preserves the legacy /v1/jobs/ subtree behaviour:
+// an empty ID is a 400, a nested path can never name a job.
+func (s *Server) handleJobFallback(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	if id == "" {
-		httpError(w, http.StatusBadRequest, "missing job id")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "missing job id")
 		return
 	}
+	s.serveJob(w, r, id)
+}
+
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, id string) {
 	j, ok := s.jobs.get(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job")
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "unknown job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
+}
+
+// JobList is the GET /v2/jobs payload.
+type JobList struct {
+	// Jobs holds the matching jobs in insertion order, capped by limit.
+	Jobs []JobStatus `json:"jobs"`
+	// Total counts every job matching the filters, across the cap.
+	Total int `json:"total"`
+}
+
+// handleJobsList is GET /v2/jobs?state=&user=&limit=.
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	vals := r.URL.Query()
+	state := vals.Get("state")
+	switch state {
+	case "", JobQueued, JobRunning, JobDone, JobFailed:
+	default:
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest,
+			`unknown state filter (use "queued", "running", "done" or "failed")`)
+		return
+	}
+	limit := defaultPageLimit
+	if raw := vals.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > maxPageLimit {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("limit must be an integer in 1..%d", maxPageLimit))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, s.jobs.list(state, vals.Get("user"), limit))
+}
+
+// list filters the store in insertion order.
+func (js *jobStore) list(state, user string, limit int) JobList {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := JobList{Jobs: []JobStatus{}}
+	seen := make(map[string]bool, len(js.jobs))
+	for _, id := range js.order {
+		j, ok := js.jobs[id]
+		if !ok || seen[id] {
+			continue
+		}
+		seen[id] = true
+		if state != "" && j.State != state {
+			continue
+		}
+		if user != "" && j.User != user {
+			continue
+		}
+		out.Total++
+		if len(out.Jobs) < limit {
+			out.Jobs = append(out.Jobs, *j)
+		}
+	}
+	return out
+}
+
+// terminal snapshots the finished jobs (done or failed) in insertion
+// order for persistence: a terminal job's outcome is immutable, so a
+// restart can hand it back to pollers verbatim. Queued and running
+// jobs are deliberately not captured — their chunks drain before the
+// shutdown snapshot, but a mid-flight periodic snapshot cannot vouch
+// for them.
+func (js *jobStore) terminal() []JobStatus {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]JobStatus, 0, len(js.jobs))
+	seen := make(map[string]bool, len(js.jobs))
+	for _, id := range js.order {
+		j, ok := js.jobs[id]
+		if !ok || seen[id] {
+			continue
+		}
+		seen[id] = true
+		if j.State == JobDone || j.State == JobFailed {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
+// restore replaces the store with persisted terminal jobs (insertion
+// order preserved, so eviction age survives the restart).
+func (js *jobStore) restore(jobs []JobStatus) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.jobs = make(map[string]*JobStatus, len(jobs))
+	js.order = js.order[:0]
+	for _, j := range jobs {
+		if j.ID == "" {
+			continue
+		}
+		if _, dup := js.jobs[j.ID]; dup {
+			continue
+		}
+		cp := j
+		js.jobs[j.ID] = &cp
+		js.order = append(js.order, j.ID)
+	}
+	js.evictLocked()
 }

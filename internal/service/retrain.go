@@ -154,27 +154,25 @@ func (s *Server) retrainLoop(interval time.Duration) {
 	}
 }
 
-// handleRetrain is POST /v1/admin/retrain: trigger a retrain + re-audit
-// pass now and report what it did. The route sits behind the same
-// middleware chain as everything else, so bearer-token auth (when
-// configured) covers it.
+// handleRetrain is POST /v{1,2}/admin/retrain: trigger a retrain +
+// re-audit pass now and report what it did. The route sits behind the
+// same middleware chain as everything else, so bearer-token auth (when
+// configured) covers it; errors render in the dialect of the matched
+// route.
 func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
 	if s.opts.Retrainer == nil {
-		httpError(w, http.StatusNotFound, "retraining not configured (start the server with a Retrainer)")
+		writeError(w, r, http.StatusNotFound, CodeRetrainMissing,
+			"retraining not configured (start the server with a Retrainer)")
 		return
 	}
 	report, err := s.Retrain()
 	if errors.Is(err, ErrRetrainInProgress) {
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusConflict, err.Error())
+		writeError(w, r, http.StatusConflict, CodeRetrainInProgress, err.Error())
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "retrain failed: "+err.Error())
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, "retrain failed: "+err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, report)

@@ -4,35 +4,47 @@
 // on each upload and admits only protected, pseudonymised fragments to
 // the published dataset. Vulnerable fragments are never stored.
 //
-// Wire protocol (JSON):
+// Wire protocol. The current surface is /v2 — resource-oriented,
+// self-describing (GET /v2/openapi.json serves an OpenAPI document
+// generated from the same route table that drives the router) and
+// errors are RFC 7807 application/problem+json with stable `code`
+// fields:
 //
-//	POST /v1/upload            {"user": ..., "records": [...]}
-//	                           -> UploadResponse
-//	                           X-Mood-Idempotency-Key makes retries safe:
-//	                           a key that was already accepted replays the
-//	                           original outcome instead of committing the
-//	                           chunk again (see idempotency.go)
-//	POST /v1/upload?async=1    -> 202 + JobStatus (poll /v1/jobs/{id})
-//	GET  /v1/jobs/{id}         asynchronous upload status
-//	GET  /v1/dataset           protected dataset (JSON)
-//	GET  /v1/dataset.csv       protected dataset (CSV)
-//	GET  /v1/stats             ServerStats
-//	GET  /v1/users/{id}        per-user upload accounting
-//	GET  /v1/metrics           request metrics (MetricsSnapshot)
-//	POST /v1/admin/retrain     retrain attacks on accumulated history,
-//	                           hot-swap the engine, re-audit + quarantine
-//	                           published fragments (see retrain.go)
-//	GET  /healthz              liveness probe
+//	POST /v2/traces         NDJSON stream of trace chunks in, one
+//	                        result line per chunk streamed back
+//	                        (per-chunk idempotency keys and async mode)
+//	GET  /v2/dataset        cursor-paginated published dataset with
+//	                        pseudonym/time filters, JSON/CSV/NDJSON
+//	                        content negotiation and ETag revalidation
+//	GET  /v2/jobs           list async jobs (state/user filters)
+//	GET  /v2/jobs/{id}      one async job (persisted across restarts
+//	                        once terminal)
+//	GET  /v2/stats          ServerStats
+//	GET  /v2/users/{id}     per-user upload accounting
+//	GET  /v2/metrics        request metrics (MetricsSnapshot)
+//	POST /v2/admin/retrain  retrain attacks on accumulated history,
+//	                        hot-swap the engine, re-audit + quarantine
+//	GET  /v2/openapi.json   the machine-readable contract
+//	GET  /healthz           liveness probe
+//
+// The /v1 surface remains mounted as a thin shim over the same
+// handlers with byte-identical responses (pinned by golden tests) plus
+// Deprecation / Link: rel="successor-version" headers; see routes.go
+// for the full table. Wrong-method requests on either surface answer a
+// uniform 405 with an Allow header derived from the table, and every
+// GET resource also serves HEAD.
 //
 // Requests flow through a fixed middleware chain (see Middleware):
-// request metrics, panic recovery, request timeout, bearer-token auth,
-// per-user rate limiting, then the mux. Uploads — sync and async —
-// are executed by a bounded worker pool over state sharded per user, so
-// concurrent participants never contend on one lock and a traffic spike
-// degrades into 503 + Retry-After instead of collapse.
+// route resolution, request metrics, panic recovery, request timeout,
+// bearer-token auth, per-user rate limiting, then the mux. Uploads —
+// sync, async and batched — are executed by a bounded worker pool over
+// state sharded per user, so concurrent participants never contend on
+// one lock and a traffic spike degrades into 503 + Retry-After instead
+// of collapse.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,7 +59,6 @@ import (
 	"mood/internal/clock"
 	"mood/internal/core"
 	"mood/internal/trace"
-	"mood/internal/traceio"
 )
 
 // Protector is the protection engine the server runs on each upload
@@ -89,7 +100,7 @@ type Options struct {
 	// simulation harness install a steppable clock.Manual.
 	Clock clock.Clock
 	// Retrainer, when non-nil, enables the online dynamic-protection
-	// subsystem: POST /v1/admin/retrain (and, when RetrainInterval > 0,
+	// subsystem: POST /v2/admin/retrain (and, when RetrainInterval > 0,
 	// a background ticker) rebuilds the protection engine from the
 	// accumulated raw upload history, hot-swaps it, and re-audits every
 	// published fragment (see retrain.go).
@@ -142,7 +153,7 @@ func WithClock(c clock.Clock) Option { return func(o *Options) { o.Clock = c } }
 
 // WithRetrainer enables online dynamic protection: rt rebuilds the
 // engine from accumulated history, interval drives the background loop
-// (0 = on-demand only via POST /v1/admin/retrain).
+// (0 = on-demand only via POST /v2/admin/retrain).
 func WithRetrainer(rt Retrainer, interval time.Duration) Option {
 	return func(o *Options) { o.Retrainer = rt; o.RetrainInterval = interval }
 }
@@ -196,11 +207,19 @@ type Server struct {
 	shards  [numShards]stateShard
 	pseudo  atomic.Int64
 	fragSeq atomic.Int64 // audit handles for published fragments
+	// quarGen counts quarantine removals; together with fragSeq it
+	// versions the published dataset for ETag revalidation and the
+	// assembled-dataset cache (see dataset.go).
+	quarGen atomic.Int64
+	dsCache atomic.Pointer[dsCacheEntry]
 
 	pool    *workerPool
 	jobs    *jobStore
 	idem    *idemStore
 	metrics *requestMetrics
+
+	openapiOnce sync.Once
+	openapiJSON []byte
 
 	retrainMu   sync.Mutex // held by the one retrain+audit pass in flight
 	retrains    atomic.Int64
@@ -279,8 +298,8 @@ type ServerStats struct {
 
 // UploadRequest is the body of POST /v1/upload.
 type UploadRequest struct {
-	User    string         `json:"user"`
-	Records []trace.Record `json:"records"`
+	User    string        `json:"user"`
+	Records trace.Records `json:"records"`
 }
 
 // UploadResponse reports what happened to an upload.
@@ -341,25 +360,15 @@ func (s *Server) Close() error {
 }
 
 // Handler returns the HTTP handler tree wrapped in the middleware
-// chain. The chain order is fixed: Metrics, Recover, Timeout, Auth,
-// RateLimit (the latter three only when configured); see Middleware
-// for the rationale.
+// chain. The router, every middleware exemption and the metrics labels
+// are all driven by the declarative route table (routes.go); the chain
+// order is fixed: Resolve, Metrics, Recover, Timeout, Auth, RateLimit
+// (the latter three only when configured); see Middleware for the
+// rationale.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/upload", s.handleUpload)
-	mux.HandleFunc("/v1/jobs/", s.handleJob)
-	mux.HandleFunc("/v1/dataset", s.handleDataset)
-	mux.HandleFunc("/v1/dataset.csv", s.handleDatasetCSV)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/users/", s.handleUser)
-	mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	mux.HandleFunc("/v1/admin/retrain", s.handleRetrain)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	rr := buildRouter(s.routes())
 
-	mws := []Middleware{s.metrics.middleware, Recover()}
+	mws := []Middleware{rr.resolve, s.metrics.middleware, Recover()}
 	if s.opts.RequestTimeout > 0 {
 		mws = append(mws, Timeout(s.opts.RequestTimeout))
 	}
@@ -369,14 +378,157 @@ func (s *Server) Handler() http.Handler {
 	if s.opts.RateLimit > 0 {
 		mws = append(mws, RateLimit(s.opts.RateLimit, s.opts.RateBurst, s.clk))
 	}
-	return Chain(mux, mws...)
+	return Chain(rr.terminal(), mws...)
 }
 
-func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
+// ---------------------------------------------------------------------------
+// The shared upload core. Every surface — the v1 single-chunk handler
+// and the v2 NDJSON batch — funnels into executeChunk, which runs one
+// validated chunk through idempotency, dispatch and the worker pool and
+// reports a protocol-independent outcome. The v1 handler renders the
+// outcome in the historical wire shapes (byte-identical, golden-
+// tested); the batch handler renders it as one NDJSON result line.
+
+// chunkOutcome is the protocol-independent result of one upload chunk.
+type chunkOutcome struct {
+	// status is the HTTP(-equivalent) status of the chunk.
+	status int
+	// code is the stable machine-readable problem code for errors.
+	code string
+	// detail is the human-readable error text (exactly the legacy v1
+	// error body text).
+	detail string
+	// resp is set when the chunk completed synchronously (status 200).
+	resp *UploadResponse
+	// job is set when the chunk was accepted (202) or replayed
+	// asynchronously.
+	job *JobStatus
+	// replay marks an outcome served from the idempotency window.
+	replay bool
+	// retryAfter asks the client to back off (Retry-After: 1).
+	retryAfter bool
+}
+
+// executeChunk runs one validated chunk: idempotency begin/replay, then
+// sync or async dispatch. block selects backpressure semantics when the
+// queue is full: false sheds immediately (the v1 contract), true blocks
+// until a slot frees, the context ends or the server stops (the batch
+// contract — a bulk feeder should be paced, not bounced).
+func (s *Server) executeChunk(ctx context.Context, t trace.Trace, key string, async, block bool) chunkOutcome {
+	var idem *idemEntry
+	if key != "" {
+		fp := uploadFingerprint(t)
+		e, isNew := s.idem.begin(t.User, key, fp)
+		if !isNew {
+			if e.fp != fp {
+				// Key reuse with a different body is a client bug; answering
+				// with the first body's result would silently drop this
+				// upload behind a 200.
+				return chunkOutcome{status: http.StatusUnprocessableEntity, code: CodeKeyReuse,
+					detail: IdempotencyKeyHeader + " was already used with a different payload"}
+			}
+			// Retry of an upload already accepted under this key: replay
+			// the original outcome instead of committing twice.
+			return s.replayChunk(ctx, t.User, e, async)
+		}
+		idem = e
 	}
+	if async {
+		return s.asyncChunk(ctx, t, key, idem, block)
+	}
+	return s.syncChunk(ctx, t, key, idem, block)
+}
+
+// enqueue offers the job to the pool: non-blocking in shed mode,
+// blocking on the queue in batch mode (bounded by ctx and shutdown).
+func (s *Server) enqueue(ctx context.Context, j *uploadJob, block bool) bool {
+	if !block {
+		return s.pool.tryEnqueue(j)
+	}
+	return s.pool.enqueueWait(ctx, j)
+}
+
+// shedOutcome is the canonical queue-full answer.
+func shedOutcome() chunkOutcome {
+	return chunkOutcome{status: http.StatusServiceUnavailable, code: CodeQueueFull,
+		detail: "upload queue full", retryAfter: true}
+}
+
+// syncChunk dispatches the chunk and waits for the outcome, preserving
+// the historical synchronous semantics.
+func (s *Server) syncChunk(ctx context.Context, t trace.Trace, key string, idem *idemEntry, block bool) chunkOutcome {
+	j := &uploadJob{trace: t, done: make(chan uploadOutcome, 1), idemKey: key, idem: idem}
+	if !s.enqueue(ctx, j, block) {
+		if idem != nil {
+			// The job never ran: release the key so the retry executes.
+			s.idem.complete(t.User, key, idem, UploadResponse{}, errUploadShed)
+		}
+		return shedOutcome()
+	}
+	select {
+	case out := <-j.done:
+		return syncDone(out.resp, out.err)
+	case <-ctx.Done():
+		// The client gave up (or the timeout layer fired); the job still
+		// runs to completion in the pool and its records are kept
+		// (at-least-once, as in the seed handler). A client that retries
+		// this 503 bare may publish the same chunk twice; retries
+		// carrying an X-Mood-Idempotency-Key replay the original result
+		// instead (see idempotency.go).
+		return chunkOutcome{status: http.StatusServiceUnavailable, code: CodeCancelled,
+			detail: "request cancelled before protection finished"}
+	case <-s.pool.drained:
+		// Server shut down mid-wait; the drain pass may have completed
+		// the job after all.
+		select {
+		case out := <-j.done:
+			return syncDone(out.resp, out.err)
+		default:
+			return chunkOutcome{status: http.StatusServiceUnavailable, code: CodeShuttingDown,
+				detail: "server shutting down"}
+		}
+	}
+}
+
+// syncDone maps a completed job onto the wire outcome.
+func syncDone(resp UploadResponse, err error) chunkOutcome {
+	if err != nil {
+		return chunkOutcome{status: http.StatusInternalServerError, code: CodeInternal, detail: err.Error()}
+	}
+	return chunkOutcome{status: http.StatusOK, resp: &resp}
+}
+
+// asyncChunk queues the chunk and reports 202 with the job handle.
+func (s *Server) asyncChunk(ctx context.Context, t trace.Trace, key string, idem *idemEntry, block bool) chunkOutcome {
+	j := s.jobs.create(t.User)
+	if idem != nil {
+		// Registered before enqueue so replays can poll the same job.
+		s.idem.setJob(idem, j.ID)
+	}
+	if !s.enqueue(ctx, &uploadJob{trace: t, id: j.ID, idemKey: key, idem: idem}, block) {
+		if idem != nil {
+			// A concurrent replay may already have been answered 202 with
+			// this job ID (setJob races with the shed), so the handle must
+			// stay pollable: mark it failed rather than removing it, and
+			// release the key so the retry re-executes.
+			s.jobs.setFailed(j.ID, errUploadShed)
+			s.idem.complete(t.User, key, idem, UploadResponse{}, errUploadShed)
+		} else {
+			s.jobs.remove(j.ID)
+		}
+		return shedOutcome()
+	}
+	return chunkOutcome{status: http.StatusAccepted, job: &j}
+}
+
+// ---------------------------------------------------------------------------
+// The v1 single-chunk shim.
+
+// handleUploadV1 is POST /v1/upload: parse the historical request shape
+// (JSON body, ?async selector, header-carried idempotency key), run the
+// shared chunk core and render the outcome byte-identically to the
+// pre-redesign protocol.
+func (s *Server) handleUploadV1(w http.ResponseWriter, r *http.Request) {
 	var req UploadRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -416,32 +568,29 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			strconv.Itoa(maxIdempotencyKeyLen)+" bytes")
 		return
 	}
-	var idem *idemEntry
-	if key != "" {
-		fp := uploadFingerprint(t)
-		e, isNew := s.idem.begin(t.User, key, fp)
-		if !isNew {
-			if e.fp != fp {
-				// Key reuse with a different body is a client bug; answering
-				// with the first body's result would silently drop this
-				// upload behind a 200.
-				httpError(w, http.StatusUnprocessableEntity,
-					IdempotencyKeyHeader+" was already used with a different payload")
-				return
-			}
-			// Retry of an upload already accepted under this key: replay
-			// the original outcome instead of committing twice.
-			s.replayUpload(w, r, t.User, e, async)
-			return
-		}
-		idem = e
-	}
 
-	if async {
-		s.dispatchAsync(w, t, key, idem)
-		return
+	writeV1Outcome(w, s.executeChunk(r.Context(), t, key, async, false))
+}
+
+// writeV1Outcome renders a chunk outcome in the historical v1 wire
+// shapes: JobStatus bodies for async outcomes, UploadResponse for sync
+// successes, {"error": ...} for errors — exactly what the pre-redesign
+// handler emitted (the golden tests hold this to the byte).
+func writeV1Outcome(w http.ResponseWriter, out chunkOutcome) {
+	if out.replay {
+		w.Header().Set(IdempotencyReplayHeader, "true")
 	}
-	s.dispatchSync(w, r, t, key, idem)
+	if out.retryAfter {
+		w.Header().Set("Retry-After", "1")
+	}
+	switch {
+	case out.job != nil:
+		writeJSON(w, out.status, *out.job)
+	case out.resp != nil:
+		writeJSON(w, out.status, *out.resp)
+	default:
+		httpError(w, out.status, out.detail)
+	}
 }
 
 // asyncMode parses the ?async upload parameter. Only "1"/"true" select
@@ -464,9 +613,9 @@ func asyncMode(r *http.Request) (async, ok bool) {
 const maxUserIDLen = 256
 
 // validateUserID rejects IDs that cannot round-trip through the API:
-// `/` would make the user unreachable via GET /v1/users/{id} (the path
-// is split on it), and control characters poison logs, CSV export and
-// the NUL-separated idempotency key space.
+// `/` would make the user unreachable via GET /v2/users/{id} (a path
+// segment), and control characters poison logs, CSV export and the
+// NUL-separated idempotency key space.
 func validateUserID(id string) error {
 	if id == "" {
 		return errors.New("missing user")
@@ -485,126 +634,35 @@ func validateUserID(id string) error {
 	return nil
 }
 
-// dispatchSync runs the upload through the worker pool and waits for
-// the outcome, preserving the historical synchronous semantics.
-func (s *Server) dispatchSync(w http.ResponseWriter, r *http.Request, t trace.Trace, key string, idem *idemEntry) {
-	j := &uploadJob{trace: t, done: make(chan uploadOutcome, 1), idemKey: key, idem: idem}
-	if !s.pool.tryEnqueue(j) {
-		if idem != nil {
-			// The job never ran: release the key so the retry executes.
-			s.idem.complete(t.User, key, idem, UploadResponse{}, errUploadShed)
-		}
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "upload queue full")
-		return
-	}
-	select {
-	case out := <-j.done:
-		if out.err != nil {
-			httpError(w, http.StatusInternalServerError, out.err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, out.resp)
-	case <-r.Context().Done():
-		// The client gave up (or the timeout layer fired); the job still
-		// runs to completion in the pool and its records are kept
-		// (at-least-once, as in the seed handler). A client that retries
-		// this 503 bare may publish the same chunk twice; retries
-		// carrying an X-Mood-Idempotency-Key replay the original result
-		// instead (see idempotency.go).
-		httpError(w, http.StatusServiceUnavailable, "request cancelled before protection finished")
-	case <-s.pool.drained:
-		// Server shut down mid-wait; the drain pass may have completed
-		// the job after all.
-		select {
-		case out := <-j.done:
-			if out.err != nil {
-				httpError(w, http.StatusInternalServerError, out.err.Error())
-				return
-			}
-			writeJSON(w, http.StatusOK, out.resp)
-		default:
-			httpError(w, http.StatusServiceUnavailable, "server shutting down")
-		}
-	}
-}
-
-// dispatchAsync queues the upload and answers 202 with the job handle.
-func (s *Server) dispatchAsync(w http.ResponseWriter, t trace.Trace, key string, idem *idemEntry) {
-	j := s.jobs.create(t.User)
-	if idem != nil {
-		// Registered before enqueue so replays can poll the same job.
-		s.idem.setJob(idem, j.ID)
-	}
-	if !s.pool.tryEnqueue(&uploadJob{trace: t, id: j.ID, idemKey: key, idem: idem}) {
-		if idem != nil {
-			// A concurrent replay may already have been answered 202 with
-			// this job ID (setJob races with the shed), so the handle must
-			// stay pollable: mark it failed rather than removing it, and
-			// release the key so the retry re-executes.
-			s.jobs.setFailed(j.ID, errUploadShed)
-			s.idem.complete(t.User, key, idem, UploadResponse{}, errUploadShed)
-		} else {
-			s.jobs.remove(j.ID)
-		}
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "upload queue full")
-		return
-	}
-	writeJSON(w, http.StatusAccepted, j)
-}
-
-func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
-	// The published dataset is assembled fresh so fragment order never
-	// leaks upload order per user.
-	d := trace.NewDataset("published", s.publishedSnapshot())
-	writeJSON(w, http.StatusOK, d)
-}
-
-func (s *Server) handleDatasetCSV(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
-	d := trace.NewDataset("published", s.publishedSnapshot())
-	w.Header().Set("Content-Type", "text/csv")
-	if err := traceio.WriteCSV(w, d); err != nil {
-		// Too late for a status change; the truncated body signals the
-		// failure to the client-side CSV parser.
-		return
-	}
-}
+// ---------------------------------------------------------------------------
+// Shared read-side handlers (one implementation serves both surfaces;
+// writeError renders errors in the dialect of the matched route).
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
-func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
+// handleUserGet serves GET /v{1,2}/users/{id}.
+func (s *Server) handleUserGet(w http.ResponseWriter, r *http.Request) {
+	s.serveUser(w, r, r.PathValue("id"))
+}
+
+// handleUserFallback preserves the legacy /v1/users/ subtree behaviour:
+// an empty ID is a 400, a nested path can never name a user.
+func (s *Server) handleUserFallback(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/users/")
 	if id == "" {
-		httpError(w, http.StatusBadRequest, "missing user id")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "missing user id")
 		return
 	}
+	s.serveUser(w, r, id)
+}
+
+func (s *Server) serveUser(w http.ResponseWriter, r *http.Request, id string) {
 	sh := s.shard(id)
 	sh.mu.Lock()
 	us, ok := sh.users[id]
@@ -614,7 +672,7 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 	}
 	sh.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown user")
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "unknown user")
 		return
 	}
 	writeJSON(w, http.StatusOK, copyStats)

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestRecordMarshalMatchesGeneric pins AppendRecordsJSON to the
+// generic encoder's bytes: snapshots, golden fixtures and every wire
+// payload depend on the format not moving.
+func TestRecordMarshalMatchesGeneric(t *testing.T) {
+	cases := []Record{
+		{},
+		{Lat: 45.7, Lon: 4.8, TS: 1000},
+		{Lat: -45.5, Lon: -4.25, TS: -1},
+		{Lat: 0.1 + 0.2, Lon: 1.0 / 3.0, TS: 1 << 62},
+		{Lat: 1e-7, Lon: 1e21, TS: 0},
+		{Lat: -1e-9, Lon: 2.5e-8, TS: 42},
+		{Lat: math.MaxFloat64, Lon: math.SmallestNonzeroFloat64, TS: math.MinInt64},
+		{Lat: 90, Lon: -180, TS: 1700000000},
+	}
+	for _, rec := range cases {
+		got, err := AppendRecordsJSON(nil, []Record{rec})
+		if err != nil {
+			t.Fatalf("%+v: %v", rec, err)
+		}
+		want, err := json.Marshal([]recordAlias{{Lat: rec.Lat, Lon: rec.Lon, TS: rec.TS}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%+v: fast marshal %s != generic %s", rec, got, want)
+		}
+	}
+
+	for _, bad := range []Records{{{Lat: math.NaN()}}, {{Lon: math.Inf(1)}}} {
+		if _, err := AppendRecordsJSON(nil, bad); err == nil {
+			t.Errorf("%+v: NaN/Inf must fail like the generic encoder", bad)
+		}
+	}
+	if out, err := AppendRecordsJSON(nil, nil); err != nil || string(out) != "null" {
+		t.Errorf("nil slice: %s, %v (want null)", out, err)
+	}
+}
+
+// TestRecordsArrayFastPaths pins the slice-level fast paths (the hot
+// wire shape) to the generic encoder and decoder.
+func TestRecordsArrayFastPaths(t *testing.T) {
+	cases := []Records{
+		nil,
+		{},
+		{{Lat: 45.7, Lon: 4.8, TS: 1000}},
+		{{Lat: 1, Lon: 2, TS: 3}, {Lat: -1e-9, Lon: 1e21, TS: -5}, {}},
+	}
+	for _, rs := range cases {
+		got, err := AppendRecordsJSON(nil, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alias := make([]recordAlias, len(rs))
+		for i, r := range rs {
+			alias[i] = recordAlias(r)
+		}
+		var want []byte
+		if rs == nil {
+			want = []byte("null")
+		} else {
+			if want, err = json.Marshal(alias); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("marshal %v: fast %s != generic %s", rs, got, want)
+		}
+
+		var back Records
+		if err := json.Unmarshal(got, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", got, err)
+		}
+		if len(back) != len(rs) {
+			t.Fatalf("round trip %s: %v", got, back)
+		}
+		for i := range rs {
+			if back[i] != rs[i] {
+				t.Errorf("round trip %s: element %d = %+v, want %+v", got, i, back[i], rs[i])
+			}
+		}
+	}
+
+	// Non-canonical arrays must defer to the generic decoder, values
+	// and errors alike.
+	inputs := []string{
+		`null`,
+		`[{"LAT":1,"lon":2,"ts":3}]`,
+		`[{"lat":1,"lon":2,"ts":3},{"lat":+1,"lon":0,"ts":0}]`,
+		`[1,2]`,
+		`[{"lat":1]`,
+		`[{"lat":1},`,
+		`  [ { "lat" : 1.5 } , {} ]  `,
+	}
+	for _, in := range inputs {
+		var fast Records
+		fastErr := json.Unmarshal([]byte(in), &fast)
+		var generic []recordAlias
+		genericErr := json.Unmarshal([]byte(in), &generic)
+		if (fastErr == nil) != (genericErr == nil) {
+			t.Errorf("%s: error mismatch: fast=%v generic=%v", in, fastErr, genericErr)
+			continue
+		}
+		if fastErr != nil {
+			continue
+		}
+		if len(fast) != len(generic) {
+			t.Errorf("%s: fast %v != generic %v", in, fast, generic)
+			continue
+		}
+		for i := range fast {
+			if fast[i] != (Record{Lat: generic[i].Lat, Lon: generic[i].Lon, TS: generic[i].TS}) {
+				t.Errorf("%s: element %d: fast %+v != generic %+v", in, i, fast[i], generic[i])
+			}
+		}
+	}
+}
+
+// TestRecordUnmarshalMatchesGeneric pins the fast parser (and its
+// fallback) to the generic decoder: same values on success, an error
+// exactly when the generic decoder errors.
+func TestRecordUnmarshalMatchesGeneric(t *testing.T) {
+	inputs := []string{
+		`{"lat":45.7,"lon":4.8,"ts":1000}`,
+		`{"ts":5,"lon":-1,"lat":2}`,          // any order
+		`{"lat":1e-7,"lon":-2.5E+3,"ts":-9}`, // exponents
+		`{"lat":1,"lon":2,"ts":3,"lat":9}`,   // duplicate key, last wins
+		`{}`,
+		`{"lat":0,"lon":0,"ts":0}`,
+		` { "lat" : 1 , "lon" : 2 , "ts" : 3 } `, // whitespace
+		`{"LAT":1,"lon":2,"ts":3}`,               // case folding (fallback)
+		`{"lat":1,"lon":2,"ts":3,"extra":"x"}`,   // unknown key (fallback)
+		`{"lat":"1","lon":2,"ts":3}`,             // string where number expected
+		`{"lat":+1,"lon":2,"ts":3}`,              // invalid JSON number
+		`{"lat":01,"lon":2,"ts":3}`,              // leading zero
+		`{"lat":.5,"lon":2,"ts":3}`,              // bare fraction
+		`{"lat":1,"lon":2,"ts":1.5}`,             // float into int64
+		`{"lat":1,"lon":2,"ts":1e2}`,             // exponent into int64
+		`{"lat":null,"lon":2,"ts":3}`,            // null (fallback: field untouched)
+		`{"lat":1`,                               // truncated
+		`[1,2,3]`,
+		`"not an object"`,
+	}
+	for _, in := range inputs {
+		var fast Record
+		fastErr := json.Unmarshal([]byte(in), &fast)
+		var generic recordAlias
+		genericErr := json.Unmarshal([]byte(in), &generic)
+		if (fastErr == nil) != (genericErr == nil) {
+			t.Errorf("%s: error mismatch: fast=%v generic=%v", in, fastErr, genericErr)
+			continue
+		}
+		if fastErr == nil && fast != (Record{Lat: generic.Lat, Lon: generic.Lon, TS: generic.TS}) {
+			t.Errorf("%s: fast %+v != generic %+v", in, fast, generic)
+		}
+	}
+}
+
+// FuzzRecordJSON cross-checks the fast paths against the generic
+// decoder on arbitrary input, and round-trips every record the fast
+// marshaller emits.
+func FuzzRecordJSON(f *testing.F) {
+	f.Add(`{"lat":45.7,"lon":4.8,"ts":1000}`)
+	f.Add(`{"lat":+1,"lon":.5,"ts":01}`)
+	f.Add(`{"LAT":1e-7,"lon":-2.5E+3,"ts":-9,"x":[]}`)
+	f.Add(`{"lat":0x1p-2,"lon":1,"ts":1}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		var fast Record
+		fastErr := json.Unmarshal([]byte(in), &fast)
+		var generic recordAlias
+		genericErr := json.Unmarshal([]byte(in), &generic)
+		if (fastErr == nil) != (genericErr == nil) {
+			t.Fatalf("%q: error mismatch: fast=%v generic=%v", in, fastErr, genericErr)
+		}
+		if fastErr != nil {
+			return
+		}
+		want := Record{Lat: generic.Lat, Lon: generic.Lon, TS: generic.TS}
+		if fast != want {
+			t.Fatalf("%q: fast %+v != generic %+v", in, fast, want)
+		}
+		out, err := AppendRecordsJSON(nil, Records{fast})
+		if err != nil {
+			return // NaN/Inf cannot appear from decode; other errors impossible
+		}
+		genericOut, err := json.Marshal([]recordAlias{recordAlias(fast)})
+		if err != nil {
+			t.Fatalf("generic remarshal: %v", err)
+		}
+		if !bytes.Equal(out, genericOut) {
+			t.Fatalf("%q: fast marshal %s != generic %s", in, out, genericOut)
+		}
+
+		// The array decoder must agree with the generic path too.
+		arr := []byte("[" + in + "," + in + "]")
+		var fastArr Records
+		fastArrErr := json.Unmarshal(arr, &fastArr)
+		var genericArr []recordAlias
+		genericArrErr := json.Unmarshal(arr, &genericArr)
+		if (fastArrErr == nil) != (genericArrErr == nil) {
+			t.Fatalf("%q: array error mismatch: fast=%v generic=%v", arr, fastArrErr, genericArrErr)
+		}
+		if fastArrErr == nil {
+			for i := range fastArr {
+				if fastArr[i] != (Record{Lat: genericArr[i].Lat, Lon: genericArr[i].Lon, TS: genericArr[i].TS}) {
+					t.Fatalf("%q: array element %d: fast %+v != generic %+v", arr, i, fastArr[i], genericArr[i])
+				}
+			}
+		}
+	})
+}
