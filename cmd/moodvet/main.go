@@ -1,0 +1,90 @@
+// Command moodvet runs MooD's repo-specific static analyzers: the
+// mechanical form of the disciplines earlier PRs established (see
+// README.md, "Static analysis").
+//
+// Two modes share one binary:
+//
+//	go vet -vettool=$(pwd)/moodvet ./...   # vet protocol, used by CI
+//	go run ./cmd/moodvet ./...             # standalone driver
+//
+// The vet mode analyzes exactly what go vet analyzes (including test
+// files) with full type information from the build cache; the
+// standalone mode shells out to `go list -test -deps -export` to get
+// the same information without cmd/go orchestrating it.
+//
+// Exit status: 0 clean, non-zero when diagnostics were reported (2 in
+// vet mode, matching unitchecker) or the analysis itself failed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mood/internal/lint"
+	"mood/internal/lint/analysis"
+	"mood/internal/lint/load"
+	"mood/internal/lint/vetdriver"
+)
+
+const modulePath = "mood"
+
+func main() {
+	args := os.Args[1:]
+	if code := vetdriver.Main(modulePath, lint.Suite(), args, os.Stdout, os.Stderr); code >= 0 {
+		os.Exit(code)
+	}
+	if len(args) == 0 || args[0] == "-h" || args[0] == "-help" || args[0] == "--help" {
+		usage()
+		os.Exit(2)
+	}
+	os.Exit(standalone(args))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: moodvet <packages>   (e.g. moodvet ./...)")
+	fmt.Fprintln(os.Stderr, "   or: go vet -vettool=/path/to/moodvet <packages>")
+	fmt.Fprintln(os.Stderr, "\nanalyzers:")
+	for _, a := range lint.Suite() {
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+	}
+}
+
+func standalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moodvet:", err)
+		return 1
+	}
+	targets, err := load.Load(wd, modulePath, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moodvet:", err)
+		return 1
+	}
+	suite := lint.Suite()
+	// Test variants (`pkg [pkg.test]`) re-analyze the non-test files of
+	// their base package, so the same finding can surface twice; report
+	// each position/message once.
+	seen := map[string]bool{}
+	n := 0
+	for _, t := range targets {
+		diags, err := analysis.Run(t, suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "moodvet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			line := d.String()
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			fmt.Fprintln(os.Stderr, line)
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "moodvet: %d diagnostic(s)\n", n)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+// Package analysis is MooD's minimal, dependency-free counterpart of
+// golang.org/x/tools/go/analysis: just enough kernel to write the
+// repo-specific moodvet analyzers against the standard library's
+// go/ast and go/types. The build environment is hermetic (no module
+// proxy), so vendoring or requiring x/tools is not an option; the
+// subset implemented here — Analyzer, Pass, positional diagnostics —
+// is API-shaped like the original so the analyzers could be ported to
+// the real framework by changing one import.
+//
+// What is deliberately absent: cross-package facts (none of the moodvet
+// rules need them), SSA, and the result-dependency graph. Every
+// analyzer is a pure function of one type-checked package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mood:allow waiver comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by moodvet -help.
+	Doc string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgPath returns the package's import path with any test-variant
+// suffix stripped: the vet driver type-checks the test variant of a
+// package under the ID "mood/internal/foo [mood/internal/foo.test]",
+// and analyzers scoped by package path must see the base path.
+func (p *Pass) PkgPath() string {
+	return BasePkgPath(p.Pkg.Path())
+}
+
+// BasePkgPath strips the " [pkg.test]" test-variant suffix from an
+// import path.
+func BasePkgPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Target is one loaded, type-checked package ready for analysis.
+type Target struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies the analyzers to the target, filters the findings
+// through the //mood:allow waivers found in the target's comments, and
+// returns the surviving diagnostics sorted by position. Bare waivers
+// (no reason) and waivers naming unknown analyzers are themselves
+// diagnostics, so a waiver can never silently rot.
+func Run(t Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = applyWaivers(t.Fset, t.Files, diags, analyzers)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Waiver comments.
+//
+// A diagnostic can be acknowledged in place with
+//
+//	//mood:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// on the offending line or on the line directly above it. The reason is
+// mandatory: a waiver without one (or naming an analyzer that does not
+// exist) is itself reported, so the suppression surface stays auditable
+// — every waiver in the tree says which rule it silences and why.
+
+// WaiverPrefix is the comment marker, after the leading "//".
+const WaiverPrefix = "mood:allow"
+
+// waiver is one parsed //mood:allow comment.
+type waiver struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+}
+
+// parseWaivers extracts every waiver comment from the files. Malformed
+// waivers (missing reason, empty analyzer list) are returned as
+// diagnostics under the pseudo-analyzer name "waiver".
+func parseWaivers(fset *token.FileSet, files []*ast.File, known map[string]bool) (ws []waiver, bad []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+WaiverPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, reason, hasReason := strings.Cut(text, "--")
+				w := waiver{pos: pos, reason: strings.TrimSpace(reason)}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						w.analyzers = append(w.analyzers, n)
+					}
+				}
+				switch {
+				case len(w.analyzers) == 0:
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "waiver",
+						Message: "mood:allow names no analyzer (want //mood:allow <analyzer> -- <reason>)"})
+					continue
+				case !hasReason || w.reason == "":
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "waiver",
+						Message: "bare mood:allow waiver: a reason is mandatory (//mood:allow " +
+							strings.Join(w.analyzers, ",") + " -- <why>)"})
+					continue
+				}
+				for _, n := range w.analyzers {
+					if !known[n] {
+						bad = append(bad, Diagnostic{Pos: pos, Analyzer: "waiver",
+							Message: "mood:allow names unknown analyzer " + strconv.Quote(n)})
+					}
+				}
+				ws = append(ws, w)
+			}
+		}
+	}
+	return ws, bad
+}
+
+// applyWaivers drops diagnostics covered by a well-formed waiver on the
+// same line or the line above, and appends the malformed-waiver
+// diagnostics.
+func applyWaivers(fset *token.FileSet, files []*ast.File, diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ws, bad := parseWaivers(fset, files, known)
+	if len(ws) == 0 {
+		return append(diags, bad...)
+	}
+	// allowed[file][line] -> analyzer set waived on that line.
+	allowed := map[string]map[int]map[string]bool{}
+	cover := func(file string, line int, names []string) {
+		byLine := allowed[file]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			allowed[file] = byLine
+		}
+		set := byLine[line]
+		if set == nil {
+			set = map[string]bool{}
+			byLine[line] = set
+		}
+		for _, n := range names {
+			set[n] = true
+		}
+	}
+	for _, w := range ws {
+		cover(w.pos.Filename, w.pos.Line, w.analyzers)
+		cover(w.pos.Filename, w.pos.Line+1, w.analyzers)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if set := allowed[d.Pos.Filename][d.Pos.Line]; set != nil && set[d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, bad...)
+}

@@ -1,0 +1,92 @@
+// Package lint holds the moodvet analyzers: mechanical enforcement of
+// the disciplines earlier PRs established by convention. Each analyzer
+// is documented where it is defined; the waiver syntax and the rule
+// rationale live in README.md ("Static analysis").
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"mood/internal/lint/analysis"
+)
+
+// clockFuncs are the time-package functions that read or wait on the
+// wall clock. Referencing any of them outside the clock package means a
+// behaviour exists that a Manual clock cannot step — exactly the class
+// of nondeterminism PR 4 eliminated from the service tier.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// ClockDisciplineConfig scopes the analyzer.
+type ClockDisciplineConfig struct {
+	// AllowedPackages may call the time package directly (the clock
+	// abstraction itself).
+	AllowedPackages map[string]bool
+}
+
+// DefaultClockDiscipline is the repo rule: only internal/clock wraps
+// the time package; everything else injects clock.Clock. _test.go files
+// are exempt (tests may bound themselves with real deadlines; the
+// no-test-sleeps discipline for internal/service is held by its tests,
+// not by vet).
+func DefaultClockDiscipline() *analysis.Analyzer {
+	return ClockDiscipline(ClockDisciplineConfig{
+		AllowedPackages: map[string]bool{"mood/internal/clock": true},
+	})
+}
+
+// ClockDiscipline builds the analyzer for the given scope.
+func ClockDiscipline(cfg ClockDisciplineConfig) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "clockdiscipline",
+		Doc: "forbid time.Now/Sleep/After/Since/NewTicker/... outside internal/clock " +
+			"so every time-dependent behaviour reads an injectable clock.Clock (PR 4)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if cfg.AllowedPackages[pass.PkgPath()] {
+			return nil
+		}
+		for _, id := range sortedUses(pass) {
+			obj := pass.TypesInfo.Uses[id]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				continue
+			}
+			if fn.Signature().Recv() != nil || !clockFuncs[fn.Name()] {
+				continue
+			}
+			if pass.InTestFile(id.Pos()) {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock directly: inject clock.Clock instead (clock discipline, PR 4)",
+				fn.Name())
+		}
+		return nil
+	}
+	return a
+}
+
+// sortedUses returns the identifiers of TypesInfo.Uses in position
+// order, so analyzers iterating uses report deterministically (map
+// order would vary run to run — the exact failure mode moodvet exists
+// to prevent).
+func sortedUses(pass *analysis.Pass) []*ast.Ident {
+	ids := make([]*ast.Ident, 0, len(pass.TypesInfo.Uses))
+	for id := range pass.TypesInfo.Uses {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Pos() < ids[j].Pos() })
+	return ids
+}

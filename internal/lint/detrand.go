@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/types"
+
+	"mood/internal/lint/analysis"
+)
+
+// DetRandConfig scopes the detrand analyzer.
+type DetRandConfig struct {
+	// AllowedPackages may use math/rand directly (the seeded-stream
+	// wrapper itself).
+	AllowedPackages map[string]bool
+}
+
+// DefaultDetRand is the repo rule: all randomness flows through
+// internal/mathx's seeded streams (NewRand/DeriveRand), so fixed-seed
+// runs — loadgen reports, eval matrices, synthetic populations — are
+// byte-identical. Tests are NOT exempt: a test drawing from the global
+// math/rand generator is flaky by construction.
+func DefaultDetRand() *analysis.Analyzer {
+	return DetRand(DetRandConfig{
+		AllowedPackages: map[string]bool{"mood/internal/mathx": true},
+	})
+}
+
+// DetRand builds the analyzer for the given scope. It flags references
+// to package-level math/rand (and math/rand/v2) functions — the global
+// generator (Intn, Float64, Shuffle, ...) and direct source
+// construction (New, NewSource, NewPCG) — outside the allowed
+// packages. Types (rand.Rand is mathx.Rand's underlying type) and
+// methods on seeded *rand.Rand streams remain usable everywhere.
+func DetRand(cfg DetRandConfig) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "detrand",
+		Doc: "forbid global math/rand functions and source construction outside internal/mathx " +
+			"so all randomness is a seeded, derivable stream (fixed-seed byte-identical reports, PR 4)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if cfg.AllowedPackages[pass.PkgPath()] {
+			return nil
+		}
+		for _, id := range sortedUses(pass) {
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				continue
+			}
+			pkg := fn.Pkg().Path()
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				continue
+			}
+			if fn.Signature().Recv() != nil {
+				// Methods on a stream value: the stream was seeded at
+				// construction (mathx.NewRand), so this is the blessed path.
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"%s.%s bypasses the seeded-stream discipline: use mathx.NewRand/DeriveRand (detrand, PR 4)",
+				pkg, fn.Name())
+		}
+		return nil
+	}
+	return a
+}

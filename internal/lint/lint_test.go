@@ -1,0 +1,122 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mood/internal/lint"
+	"mood/internal/lint/analysis"
+	"mood/internal/lint/linttest"
+)
+
+// Each analyzer runs over its fixture package with a fixture-scoped
+// Config, so the testdata tree can place itself inside or outside the
+// analyzer's jurisdiction without touching the production defaults.
+
+func TestClockDiscipline(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:       "testdata/clockdiscipline",
+		PkgPath:   "fixture/clockuser",
+		Analyzers: []*analysis.Analyzer{clockFor("fixture/clockallowed")},
+	})
+}
+
+func TestClockDisciplineAllowedPackage(t *testing.T) {
+	// Same analyzer, but the fixture type-checks as the allowed package:
+	// zero diagnostics expected (the fixture has no want comments).
+	linttest.Run(t, linttest.Fixture{
+		Dir:       "testdata/clockdiscipline/allowed",
+		PkgPath:   "fixture/clockallowed",
+		Analyzers: []*analysis.Analyzer{clockFor("fixture/clockallowed")},
+	})
+}
+
+func clockFor(allowed string) *analysis.Analyzer {
+	return lint.ClockDiscipline(lint.ClockDisciplineConfig{
+		AllowedPackages: map[string]bool{allowed: true},
+	})
+}
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:       "testdata/detrand",
+		PkgPath:   "fixture/randuser",
+		Analyzers: []*analysis.Analyzer{detRandFor("fixture/randallowed")},
+	})
+}
+
+func TestDetRandAllowedPackage(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:       "testdata/detrand/allowed",
+		PkgPath:   "fixture/randallowed",
+		Analyzers: []*analysis.Analyzer{detRandFor("fixture/randallowed")},
+	})
+}
+
+func detRandFor(allowed string) *analysis.Analyzer {
+	return lint.DetRand(lint.DetRandConfig{
+		AllowedPackages: map[string]bool{allowed: true},
+	})
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:     "testdata/maporder",
+		PkgPath: "fixture/maporder",
+		Analyzers: []*analysis.Analyzer{lint.MapOrder(lint.MapOrderConfig{
+			Packages: map[string]bool{"fixture/maporder": true},
+		})},
+	})
+}
+
+func TestMapOrderOutsideScope(t *testing.T) {
+	// The same fixture type-checked as a package outside the
+	// determinism-critical set produces nothing: scope is the rule.
+	linttest.Run(t, linttest.Fixture{
+		Dir:     "testdata/maporder",
+		PkgPath: "fixture/elsewhere",
+		Analyzers: []*analysis.Analyzer{lint.MapOrder(lint.MapOrderConfig{
+			Packages: map[string]bool{"fixture/maporder": true},
+		})},
+		IgnoreWants: true,
+	})
+}
+
+func TestRouteTable(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:     "testdata/routetable",
+		PkgPath: "fixture/routetable",
+		Analyzers: []*analysis.Analyzer{lint.RouteTable(lint.RouteTableConfig{
+			Package:    "fixture/routetable",
+			MuxFiles:   map[string]bool{"routes.go": true},
+			ErrorFiles: map[string]bool{"problem.go": true},
+		})},
+	})
+}
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:     "testdata/lockscope",
+		PkgPath: "fixture/lockscope",
+		Analyzers: []*analysis.Analyzer{lint.LockScope(lint.LockScopeConfig{
+			Package:     "fixture/lockscope",
+			ShardType:   "stateShard",
+			MutexField:  "mu",
+			ServerType:  "Server",
+			WalkMethods: map[string]bool{"userIDs": true},
+		})},
+	})
+}
+
+func TestWaiverContract(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:       "testdata/waiver",
+		PkgPath:   "fixture/waiver",
+		Analyzers: []*analysis.Analyzer{clockFor("fixture/clockallowed")},
+		Extra: []string{
+			`waiver: bare mood:allow waiver: a reason is mandatory`,
+			`waiver: bare mood:allow waiver: a reason is mandatory`,
+			`waiver: mood:allow names no analyzer`,
+			`waiver: mood:allow names unknown analyzer "nosuchanalyzer"`,
+		},
+	})
+}

@@ -1,0 +1,255 @@
+// Package linttest runs moodvet analyzers over testdata fixture
+// packages and matches the reported diagnostics against `// want`
+// comments — a standard-library-only analog of x/tools'
+// go/analysis/analysistest.
+//
+// A want comment holds one or more Go string literals, each a regular
+// expression that must match the "<analyzer>: <message>" text of a
+// distinct diagnostic reported on the comment's line:
+//
+//	time.Sleep(tick) // want `clockdiscipline: time\.Sleep`
+//
+// Diagnostics that cannot share a line with a want comment — waiver
+// diagnostics are reported at the //mood:allow comment itself, and a
+// line fits only one line comment — are declared in Fixture.Extra
+// instead. Every diagnostic must be matched by exactly one want or
+// extra, and every want and extra must match exactly one diagnostic.
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mood/internal/lint/analysis"
+	"mood/internal/lint/load"
+)
+
+// Fixture is one analyzer scenario: a directory of Go files checked as
+// a single package under PkgPath.
+type Fixture struct {
+	// Dir holds the fixture's .go files (non-recursive).
+	Dir string
+	// PkgPath is the import path the fixture is type-checked under —
+	// how fixtures place themselves inside or outside an analyzer's
+	// package scope.
+	PkgPath string
+	// Analyzers to run, usually exactly one with a fixture-scoped Config.
+	Analyzers []*analysis.Analyzer
+	// Extra declares expected diagnostics that cannot be expressed as
+	// want comments, as regular expressions over the full diagnostic
+	// string (position prefix included).
+	Extra []string
+	// IgnoreWants skips want-comment collection: every diagnostic is
+	// unexpected. Used to re-check a fixture under a scope where its
+	// analyzer must stay silent.
+	IgnoreWants bool
+}
+
+// Run type-checks the fixture, runs its analyzers and reports every
+// mismatch between diagnostics and expectations as a test error.
+func Run(t *testing.T, fx Fixture) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files := parseFixture(t, fset, fx.Dir)
+	target := check(t, fset, files, fx)
+	diags, err := analysis.Run(target, fx.Analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	wants := map[string]map[int][]*expectation{}
+	if !fx.IgnoreWants {
+		wants = parseWants(t, fset, files)
+	}
+	extras := make([]*expectation, len(fx.Extra))
+	for i, re := range fx.Extra {
+		extras[i] = &expectation{re: regexp.MustCompile(re), text: re}
+	}
+
+	for _, d := range diags {
+		if matchWant(wants, d) || matchExtra(extras, d) {
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, byLine := range wants {
+		for _, ws := range byLine {
+			for _, w := range ws {
+				if !w.used {
+					t.Errorf("%s: no diagnostic matched want %q", w.at, w.text)
+				}
+			}
+		}
+	}
+	for _, e := range extras {
+		if !e.used {
+			t.Errorf("no diagnostic matched extra expectation %q", e.text)
+		}
+	}
+}
+
+// parseFixture parses every .go file in dir (sorted, so positions are
+// stable) with comments retained for want and waiver processing.
+func parseFixture(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+// check type-checks the fixture under fx.PkgPath, resolving its
+// imports (and their dependencies) to export data via go list.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, fx Fixture) analysis.Target {
+	t.Helper()
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	patterns := make([]string, 0, len(imports))
+	for p := range imports {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	var exports map[string]string
+	if len(patterns) > 0 {
+		var err error
+		exports, err = load.ExportData(".", patterns)
+		if err != nil {
+			t.Fatalf("resolving fixture imports: %v", err)
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, &os.PathError{Op: "export", Path: path, Err: os.ErrNotExist}
+		}
+		return os.Open(file)
+	}
+	target, err := load.Check(fx.PkgPath, fset, files, lookup)
+	if err != nil {
+		t.Fatalf("type-checking fixture as %s: %v", fx.PkgPath, err)
+	}
+	return target
+}
+
+// expectation is one want literal or extra pattern.
+type expectation struct {
+	re   *regexp.Regexp
+	text string
+	at   token.Position // want comments only
+	used bool
+}
+
+// parseWants collects want comments keyed by file and line.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string]map[int][]*expectation {
+	t.Helper()
+	wants := map[string]map[int][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := wants[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*expectation{}
+					wants[pos.Filename] = byLine
+				}
+				for _, lit := range wantLiterals(t, pos, rest) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, lit, err)
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], &expectation{re: re, text: lit, at: pos})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// wantLiterals parses the string literals of one want comment.
+func wantLiterals(t *testing.T, pos token.Position, rest string) []string {
+	t.Helper()
+	var lits []string
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: want expects quoted or backquoted patterns, got %q", pos, rest)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: bad want literal %s: %v", pos, q, err)
+		}
+		lits = append(lits, lit)
+		rest = rest[len(q):]
+	}
+	if len(lits) == 0 {
+		t.Fatalf("%s: want comment with no patterns", pos)
+	}
+	return lits
+}
+
+// matchWant consumes the first unused want on the diagnostic's line
+// whose pattern matches "<analyzer>: <message>".
+func matchWant(wants map[string]map[int][]*expectation, d analysis.Diagnostic) bool {
+	text := d.Analyzer + ": " + d.Message
+	for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+		if !w.used && w.re.MatchString(text) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// matchExtra consumes the first unused extra matching the full
+// diagnostic string.
+func matchExtra(extras []*expectation, d analysis.Diagnostic) bool {
+	s := d.String()
+	for _, e := range extras {
+		if !e.used && e.re.MatchString(s) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}

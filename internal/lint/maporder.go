@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mood/internal/lint/analysis"
+)
+
+// MapOrderConfig scopes the maporder analyzer.
+type MapOrderConfig struct {
+	// Packages are the determinism-critical packages: everything that
+	// feeds bytes a fixed-seed run must reproduce exactly (reports, the
+	// loadgen harness, the service's emitters).
+	Packages map[string]bool
+}
+
+// DefaultMapOrder is the repo rule: internal/report, internal/loadgen
+// and internal/service emit fixed-seed-reproducible bytes (PR 4/PR 5),
+// so map iteration in those packages must not reach an output.
+func DefaultMapOrder() *analysis.Analyzer {
+	return MapOrder(MapOrderConfig{Packages: map[string]bool{
+		"mood/internal/report":  true,
+		"mood/internal/loadgen": true,
+		"mood/internal/service": true,
+	}})
+}
+
+// MapOrder builds the analyzer for the given scope. Inside the listed
+// packages it flags `for ... range m` over a map when the loop body
+//
+//   - calls an output sink directly — any fmt function (including
+//     Errorf: picking which error wins is an ordering decision), or a
+//     method named Encode/EncodeToken/Write/WriteString — or
+//   - appends to a local slice that the enclosing function never
+//     passes to sort.* / slices.Sort* afterwards (an unsorted
+//     map-derived slice is a serialization landmine even when today's
+//     caller happens to sort it).
+//
+// Iteration that only builds maps or sets stays order-free and is not
+// flagged. The analysis is per-function; a map-derived slice laundered
+// through a helper before sorting needs a //mood:allow waiver stating
+// where the ordering is restored. _test.go files are exempt.
+func MapOrder(cfg MapOrderConfig) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "maporder",
+		Doc: "flag map iteration whose order can reach serialized output in determinism-critical " +
+			"packages (fixed-seed reports are byte-identical, PR 4)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !cfg.Packages[pass.PkgPath()] {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+					continue
+				}
+				checkFuncMapOrder(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkFuncMapOrder(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fd, rs)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	var appended []types.Object
+	sinkReported := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sinkReported {
+				return true
+			}
+			if name, ok := sinkCall(pass, n); ok {
+				pass.Reportf(rs.Pos(),
+					"map iteration order reaches an output sink (%s): sort the keys first (maporder, PR 4)", name)
+				sinkReported = true
+			}
+		case *ast.AssignStmt:
+			// x = append(x, ...) with x a plain identifier.
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) {
+				return true
+			}
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				appended = append(appended, obj)
+			}
+		}
+		return true
+	})
+	if sinkReported {
+		return
+	}
+	for _, obj := range appended {
+		if !sortedInFunc(pass, fd, obj) {
+			pass.Reportf(rs.Pos(),
+				"slice %q is built from map iteration but never sorted in this function: "+
+					"sort it before it is serialized, or waive with the sort site (maporder, PR 4)", obj.Name())
+			return // one report per range statement is enough
+		}
+	}
+}
+
+// sinkCall reports whether the call is an output sink, returning a
+// human-readable name for it.
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return "fmt." + fn.Name(), true
+	}
+	if fn.Signature().Recv() != nil {
+		switch fn.Name() {
+		case "Encode", "EncodeToken", "Write", "WriteString":
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedInFunc reports whether the function contains a sort.* or
+// slices.* call taking obj as an argument.
+func sortedInFunc(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mood/internal/lint"
+	"mood/internal/lint/analysis"
+	"mood/internal/lint/load"
+)
+
+// TestRepoIsClean runs the full production suite over the entire module
+// (test files included) and demands zero diagnostics: the disciplines
+// moodvet enforces hold on moodvet's own repository, waivers included.
+// This is the same analysis CI runs via `go vet -vettool`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	targets, err := load.Load("../..", "mood", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	suite := lint.Suite()
+	seen := map[string]bool{} // test variants re-analyze non-test files
+	for _, target := range targets {
+		diags, err := analysis.Run(target, suite)
+		if err != nil {
+			t.Fatalf("%s: %v", target.Pkg.Path(), err)
+		}
+		for _, d := range diags {
+			if line := d.String(); !seen[line] {
+				seen[line] = true
+				t.Errorf("%s", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package lint
+
+import "mood/internal/lint/analysis"
+
+// Suite returns the full moodvet analyzer set with the repo's
+// production configuration — the set go vet -vettool and the standalone
+// driver both run.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DefaultClockDiscipline(),
+		DefaultDetRand(),
+		DefaultMapOrder(),
+		DefaultRouteTable(),
+		DefaultLockScope(),
+	}
+}

@@ -1,0 +1,26 @@
+// Package fixture exercises clockdiscipline: direct time-package clock
+// reads and waits are flagged; constructors, types and waived lines are
+// not.
+package fixture
+
+import "time"
+
+// Durations and other non-clock uses of the time package are fine.
+const tick = 50 * time.Millisecond
+
+func direct() time.Time {
+	t := time.Now()    // want `clockdiscipline: time\.Now reads the wall clock`
+	time.Sleep(tick)   // want `clockdiscipline: time\.Sleep reads the wall clock`
+	_ = time.Since(t)  // want `clockdiscipline: time\.Since reads the wall clock`
+	<-time.After(tick) // want `clockdiscipline: time\.After reads the wall clock`
+	return time.Unix(0, 0)
+}
+
+func waivedAbove() {
+	//mood:allow clockdiscipline -- fixture: sanctioned direct read, waiver on the line above
+	_ = time.Now()
+}
+
+func waivedTrailing() {
+	_ = time.Now() //mood:allow clockdiscipline -- fixture: sanctioned direct read, trailing waiver
+}

@@ -1,0 +1,9 @@
+// Package fixture stands in for internal/mathx: listed in
+// AllowedPackages, it constructs sources and streams directly.
+package fixture
+
+import "math/rand"
+
+func seededStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

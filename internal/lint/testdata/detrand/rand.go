@@ -1,0 +1,34 @@
+// Package fixture exercises detrand: global math/rand functions and
+// source construction are flagged everywhere outside the allowed
+// packages; methods on an already-seeded stream are the blessed path.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globals() {
+	_ = rand.Int()            // want `detrand: math/rand\.Int bypasses the seeded-stream discipline`
+	rand.Shuffle(3, swap)     // want `detrand: math/rand\.Shuffle bypasses the seeded-stream discipline`
+	_ = randv2.IntN(5)        // want `detrand: math/rand/v2\.IntN bypasses the seeded-stream discipline`
+	_ = randv2.N(uint8(5))    // want `detrand: math/rand/v2\.N bypasses the seeded-stream discipline`
+	_ = rand.New(newSource()) // want `detrand: math/rand\.New bypasses the seeded-stream discipline`
+}
+
+func newSource() rand.Source {
+	return rand.NewSource(1) // want `detrand: math/rand\.NewSource bypasses the seeded-stream discipline`
+}
+
+// Methods on a stream value are fine: the stream was seeded at
+// construction (mathx.NewRand), wherever it came from.
+func streams(r *rand.Rand) (int, float64) {
+	return r.Intn(5), r.Float64()
+}
+
+func waived() int {
+	//mood:allow detrand -- fixture: sanctioned global draw
+	return rand.Int()
+}
+
+func swap(i, j int) {}

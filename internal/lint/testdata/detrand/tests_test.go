@@ -1,0 +1,9 @@
+package fixture
+
+import "math/rand"
+
+// Unlike clockdiscipline, detrand does NOT exempt _test.go files: a
+// test drawing from the global generator is flaky by construction.
+func flakyInTests() int {
+	return rand.Int() // want `detrand: math/rand\.Int bypasses the seeded-stream discipline`
+}

@@ -1,0 +1,128 @@
+// Package fixture exercises lockscope with a miniature of the service
+// package's sharded state: short CPU-only critical sections pass;
+// blocking operations and nested shard locks under a held mutex are
+// flagged.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type stateShard struct {
+	mu    sync.Mutex
+	count int
+}
+
+type Server struct {
+	shards []stateShard
+}
+
+func (s *Server) userIDs() []string { return nil }
+
+// fullSnapshot is a walk method by naming convention ("...Snapshot").
+// Its own index-ordered lock-all loop is the sanctioned exception.
+func (s *Server) fullSnapshot() int {
+	n := 0
+	for i := range s.shards {
+		//mood:allow lockscope -- fixture: index-ordered full acquisition for a point-in-time snapshot
+		s.shards[i].mu.Lock()
+	}
+	for i := range s.shards {
+		n += s.shards[i].count
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// shortCriticalSection is the discipline: lock, touch memory, unlock.
+func shortCriticalSection(sh *stateShard) int {
+	sh.mu.Lock()
+	n := sh.count
+	sh.mu.Unlock()
+	return n
+}
+
+func sleepUnderLock(sh *stateShard) {
+	sh.mu.Lock()
+	time.Sleep(time.Millisecond) // want `lockscope: time\.Sleep \(clock wait\) while a shard lock is held`
+	sh.mu.Unlock()
+}
+
+func sleepAfterUnlock(sh *stateShard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func sendUnderLock(sh *stateShard, ch chan int) {
+	sh.mu.Lock()
+	ch <- 1 // want `lockscope: channel send while a shard lock is held`
+	sh.mu.Unlock()
+	ch <- 2
+}
+
+func receiveUnderLock(sh *stateShard, ch chan int) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return <-ch // want `lockscope: channel receive while a shard lock is held`
+}
+
+func nestedLocks(s *Server) {
+	for i := range s.shards {
+		s.shards[i].mu.Lock() // want `lockscope: acquiring a shard lock while another shard lock is held`
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+func outboundUnderLock(sh *stateShard, c *http.Client) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, err := c.Get("http://example.invalid/") // want `lockscope: outbound HTTP \(http\.Client\.Get\) while a shard lock is held`
+	return err
+}
+
+func responseUnderLock(sh *stateShard, w http.ResponseWriter) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	w.WriteHeader(http.StatusOK) // want `lockscope: HTTP response write \(WriteHeader\) while a shard lock is held`
+}
+
+func walkUnderLock(s *Server, sh *stateShard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_ = s.userIDs()      // want `lockscope: full-state walk \(userIDs re-enters the shard locks\)`
+	_ = s.fullSnapshot() // want `lockscope: full-state walk \(fullSnapshot re-enters the shard locks\)`
+}
+
+// snapshotThenEvaluate is the PR 1 pattern: copy under the lock,
+// evaluate unlocked.
+func snapshotThenEvaluate(s *Server, sh *stateShard) int {
+	sh.mu.Lock()
+	n := sh.count
+	sh.mu.Unlock()
+	return n + s.fullSnapshot()
+}
+
+// goroutineRunsUnlocked: a spawned goroutine does not hold this lock;
+// its body is scanned as its own (unlocked) scope.
+func goroutineRunsUnlocked(sh *stateShard, ch chan int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// branchStateStaysLocal: a lock taken and released inside a branch does
+// not leak into the statements after it.
+func branchStateStaysLocal(sh *stateShard, ready bool, ch chan int) {
+	if ready {
+		sh.mu.Lock()
+		sh.mu.Unlock()
+	}
+	ch <- 1
+}

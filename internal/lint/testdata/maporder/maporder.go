@@ -1,0 +1,65 @@
+// Package fixture exercises maporder: map iteration that reaches an
+// output sink, or builds a slice never sorted in the enclosing
+// function, is flagged; order-free iteration is not.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func sinkDirect(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `maporder: map iteration order reaches an output sink \(fmt\.Fprintf\)`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func sinkErrorf(m map[string]int) error {
+	for k := range m { // want `maporder: map iteration order reaches an output sink \(fmt\.Errorf\)`
+		return fmt.Errorf("first offender %q", k)
+	}
+	return nil
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `maporder: slice "keys" is built from map iteration but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Building another map is order-free: no sequence escapes.
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Ranging over a slice is ordered already.
+func overSlice(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+func waived(m map[string]int) []string {
+	var keys []string
+	//mood:allow maporder -- fixture: the single caller sorts before serializing
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "net/http"
+
+// _test.go files are exempt from routetable: tests build probe servers
+// and assert raw statuses freely.
+func exemptInTests(w http.ResponseWriter, h http.HandlerFunc) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/probe", h)
+	http.Error(w, "boom", http.StatusInternalServerError)
+	w.WriteHeader(http.StatusBadGateway)
+}

@@ -1,0 +1,29 @@
+// handlers.go is an ordinary service file: it must reach routing and
+// error rendering only through the sanctioned files.
+package fixture
+
+import "net/http"
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "no", http.StatusTeapot) // want `routetable: http\.Error bypasses the route table's error dialect`
+	w.WriteHeader(http.StatusBadRequest)   // want `routetable: WriteHeader\(400\) writes an error status directly`
+	writeProblem(w, 500, "no")             // want `routetable: writeProblem called outside problem\.go`
+	w.WriteHeader(http.StatusOK)
+}
+
+// Variable statuses are not flagged: the analyzer only proves constant
+// error statuses wrong, writeError handles the rest.
+func variableStatus(w http.ResponseWriter, status int) {
+	w.WriteHeader(status)
+}
+
+func rogueMux(h http.HandlerFunc) {
+	mux := http.NewServeMux()   // want `routetable: http\.NewServeMux outside routes\.go`
+	mux.HandleFunc("/rogue", h) // want `routetable: ServeMux\.HandleFunc outside routes\.go`
+	http.Handle("/rogue2", h)   // want `routetable: http\.Handle outside routes\.go`
+}
+
+func waivedHandler(w http.ResponseWriter) {
+	//mood:allow routetable -- fixture: sanctioned direct status
+	w.WriteHeader(http.StatusServiceUnavailable)
+}

@@ -1,0 +1,18 @@
+// problem.go is this fixture's sanctioned error-dialect file: it may
+// write error statuses and problem documents directly.
+package fixture
+
+import "net/http"
+
+func writeProblem(w http.ResponseWriter, status int, detail string) {
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(detail))
+}
+
+func writeError(w http.ResponseWriter, status int, detail string) {
+	if status == http.StatusNotFound {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	writeProblem(w, status, detail)
+}

@@ -1,0 +1,11 @@
+// routes.go is this fixture's sanctioned route-assembly file: mux
+// construction and registration here are the route table's job.
+package fixture
+
+import "net/http"
+
+func buildRouter(h http.HandlerFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", h)
+	return mux
+}

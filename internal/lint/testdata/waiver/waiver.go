@@ -1,0 +1,37 @@
+// Package fixture exercises the //mood:allow contract itself: a waiver
+// must name a real analyzer and carry a reason, and a malformed waiver
+// both suppresses nothing and is reported in its own right.
+package fixture
+
+import "time"
+
+func bare() {
+	//mood:allow clockdiscipline
+	_ = time.Now() // want `clockdiscipline: time\.Now reads the wall clock`
+}
+
+func noReason() {
+	//mood:allow clockdiscipline --
+	_ = time.Now() // want `clockdiscipline: time\.Now reads the wall clock`
+}
+
+func noAnalyzer() {
+	//mood:allow -- just because
+	_ = time.Now() // want `clockdiscipline: time\.Now reads the wall clock`
+}
+
+func unknownAnalyzer() {
+	//mood:allow nosuchanalyzer -- the analyzer list must be real
+	_ = time.Now() // want `clockdiscipline: time\.Now reads the wall clock`
+}
+
+func wellFormed() {
+	//mood:allow clockdiscipline -- fixture: a proper waiver names the rule and the why
+	_ = time.Now()
+}
+
+func tooFarAway() {
+	//mood:allow clockdiscipline -- fixture: a waiver covers its line and the next, not a whole block
+
+	_ = time.Now() // want `clockdiscipline: time\.Now reads the wall clock`
+}

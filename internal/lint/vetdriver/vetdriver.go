@@ -1,0 +1,159 @@
+// Package vetdriver speaks the go vet -vettool protocol — the same
+// contract x/tools' unitchecker implements — using only the standard
+// library. cmd/go invokes the tool three ways:
+//
+//   - `tool -V=full`: print an identity line ending in a content-based
+//     buildID (cmd/go hashes it into the action cache key);
+//   - `tool -flags`: print a JSON description of supported flags;
+//   - `tool <dir>/vet.cfg`: analyze one package described by the JSON
+//     config — parse its files, type-check against the export data cmd/go
+//     already built (via go/importer's gc importer with a lookup into the
+//     config's PackageFile table), run the analyzers, print diagnostics
+//     to stderr and exit 2 when there are findings.
+//
+// cmd/go also invokes the tool once per dependency package with
+// VetxOnly=true, expecting only a serialized facts file; moodvet's
+// analyzers are factless, so those invocations write a stub vetx and
+// return immediately — which is also what makes the whole-tree run
+// cheap (only first-party packages are type-checked).
+package vetdriver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"mood/internal/lint/analysis"
+	"mood/internal/lint/load"
+)
+
+// Config mirrors the vet config JSON cmd/go writes for each package
+// (cmd/go/internal/work's vetConfig).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	GoVersion                 string
+}
+
+// Main runs the protocol for the analyzers and returns the process
+// exit code. modulePath limits analysis to first-party packages.
+func Main(modulePath string, analyzers []*analysis.Analyzer, args []string, stdout, stderr io.Writer) int {
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		fmt.Fprintln(stdout, versionLine())
+		return 0
+	case len(args) == 1 && args[0] == "-flags":
+		// No analyzer flags: moodvet's configuration is the point — it
+		// is fixed in the source so the checked discipline cannot be
+		// weakened from the command line.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		code, err := runCfg(modulePath, analyzers, args[0], stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "moodvet:", err)
+			return 1
+		}
+		return code
+	}
+	return -1 // not a vet-protocol invocation; caller decides
+}
+
+// versionLine is the `-V=full` handshake: cmd/go requires
+// "<name> version devel ... buildID=<content hash>" (or a release
+// version) and uses the buildID in its action cache key, so the hash
+// must change when the tool's code does — hashing the executable
+// delivers that.
+func versionLine() string {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = "moodvet"
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		io.Copy(h, f) //nolint:errcheck // hashing cannot fail
+		f.Close()
+	}
+	return fmt.Sprintf("%s version devel buildID=%x", exe, h.Sum(nil)[:16])
+}
+
+func runCfg(modulePath string, analyzers []*analysis.Analyzer, cfgPath string, stderr io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// The facts file must exist even when empty: dependents' configs
+	// reference it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("moodvet: no facts\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly || cfg.ModulePath != modulePath {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	target, err := load.Check(cfg.ImportPath, fset, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	diags, err := analysis.Run(target, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,42 @@
+package vetdriver
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestProtocolProbes pins the two cheap probes cmd/go sends before any
+// analysis: the flag description and the version handshake. Breaking
+// either silently disables the whole vet integration.
+func TestProtocolProbes(t *testing.T) {
+	var out bytes.Buffer
+	if code := Main("mood", nil, []string{"-flags"}, &out, io.Discard); code != 0 {
+		t.Fatalf("-flags: exit %d", code)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("-flags printed %q, want []", got)
+	}
+
+	out.Reset()
+	if code := Main("mood", nil, []string{"-V=full"}, &out, io.Discard); code != 0 {
+		t.Fatalf("-V=full: exit %d", code)
+	}
+	// cmd/go requires "<name> version devel ... buildID=<hex>" (or a
+	// release version) and hashes the line into its action cache key.
+	got := strings.TrimSpace(out.String())
+	if !strings.Contains(got, " version devel ") || !strings.Contains(got, "buildID=") {
+		t.Fatalf("-V=full printed %q, want a devel version line with a buildID", got)
+	}
+}
+
+// TestNonProtocolArgsDecline checks Main hands anything that is not a
+// vet invocation back to the caller (the standalone driver).
+func TestNonProtocolArgsDecline(t *testing.T) {
+	for _, args := range [][]string{nil, {"./..."}, {"-h"}, {"-V=short"}} {
+		if code := Main("mood", nil, args, io.Discard, io.Discard); code != -1 {
+			t.Errorf("Main(%q) = %d, want -1", args, code)
+		}
+	}
+}

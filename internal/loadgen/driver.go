@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
+	"mood/internal/clock"
 	"mood/internal/mathx"
 	"mood/internal/service"
 	"mood/internal/trace"
@@ -92,6 +94,7 @@ type Driver struct {
 	client *service.Client
 	http   *http.Client
 	log    io.Writer
+	clk    clock.Clock
 }
 
 // NewDriver prepares a driver for the server at baseURL. logw receives
@@ -106,7 +109,7 @@ func NewDriver(cfg Config, baseURL string, logw io.Writer) *Driver {
 	if logw == nil {
 		logw = io.Discard
 	}
-	return &Driver{cfg: cfg, client: c, http: c.HTTPClient, log: logw}
+	return &Driver{cfg: cfg, client: c, http: c.HTTPClient, log: logw, clk: cfg.Clock}
 }
 
 // Run executes the whole scenario: build the workload, replay it round
@@ -181,6 +184,9 @@ func (d *Driver) RunWorkload(w Workload) (Report, error) {
 	for u := range seen {
 		users = append(users, u)
 	}
+	// Deterministic order: checkInvariants appends per-user violations
+	// in this order, and the report must be byte-identical per seed.
+	sort.Strings(users)
 	report.Requests = tally
 	stats, err := d.client.Stats()
 	if err != nil {
@@ -540,15 +546,17 @@ func (d *Driver) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// backoff sleeps briefly between transient retries (wall clock: the
-// driver talks to a live server; only the *workload*, not its pacing,
-// needs to be virtual-time deterministic).
+// backoff sleeps briefly between transient retries on the driver's
+// injected clock: against a live server that is the system clock, and
+// in virtual-time soaks a Manual clock makes even the retry pacing
+// steppable (the *workload* is deterministic either way; pacing only
+// affects wall time).
 func (d *Driver) backoff(attempt int) {
 	delay := 5 * time.Millisecond * time.Duration(attempt/10+1)
 	if delay > 100*time.Millisecond {
 		delay = 100 * time.Millisecond
 	}
-	time.Sleep(delay)
+	d.clk.Sleep(delay)
 }
 
 func truncate(b []byte) string {

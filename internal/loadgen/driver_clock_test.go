@@ -1,0 +1,51 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"mood/internal/clock"
+)
+
+// TestBackoffUsesInjectedClock proves retry pacing runs on the
+// driver's injected clock: backoff on a Manual clock blocks until the
+// test advances virtual time, so soak harnesses can step through
+// transient retries without real sleeping.
+func TestBackoffUsesInjectedClock(t *testing.T) {
+	mc := clock.NewManual(time.Unix(0, 0))
+	d := NewDriver(Config{Clock: mc}, "http://unreachable.invalid", nil)
+
+	done := make(chan struct{})
+	go func() {
+		d.backoff(0) // 5ms delay, on the manual clock
+		close(done)
+	}()
+
+	mc.BlockUntil(1) // backoff has registered its sleep
+	select {
+	case <-done:
+		t.Fatal("backoff returned before virtual time advanced")
+	default:
+	}
+	mc.Advance(5 * time.Millisecond)
+	<-done
+
+	// Large attempt numbers cap at 100ms of virtual time.
+	capped := make(chan struct{})
+	go func() {
+		d.backoff(1000)
+		close(capped)
+	}()
+	mc.BlockUntil(1)
+	mc.Advance(100 * time.Millisecond)
+	<-capped
+}
+
+// TestConfigDefaultsToSystemClock checks NewDriver never leaves the
+// clock nil when the config omits it.
+func TestConfigDefaultsToSystemClock(t *testing.T) {
+	d := NewDriver(Config{}, "http://unreachable.invalid", nil)
+	if d.clk == nil {
+		t.Fatal("NewDriver left the clock nil")
+	}
+}

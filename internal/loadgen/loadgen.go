@@ -22,6 +22,7 @@ package loadgen
 import (
 	"fmt"
 
+	"mood/internal/clock"
 	"mood/internal/eval"
 	"mood/internal/synth"
 	"mood/internal/trace"
@@ -78,6 +79,11 @@ type Config struct {
 
 	// AuthToken, when set, authenticates every request.
 	AuthToken string
+
+	// Clock paces transient retries (default clock.System()). Like
+	// Workers it affects wall-clock time only, never the report; a
+	// Manual clock makes retry backoff steppable in virtual-time soaks.
+	Clock clock.Clock
 }
 
 func (c *Config) fill() {
@@ -95,6 +101,9 @@ func (c *Config) fill() {
 	}
 	if c.Scenario == "" {
 		c.Scenario = "custom"
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System()
 	}
 }
 

@@ -1,7 +1,6 @@
 package lppm
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -15,7 +14,7 @@ import (
 // randomTrace builds a pseudo-random but valid trace from quick's
 // entropy: a wander around the origin.
 func randomTrace(seed int64, n int) trace.Trace {
-	rng := rand.New(rand.NewSource(seed))
+	rng := mathx.NewRand(uint64(seed))
 	rs := make([]trace.Record, n)
 	p := origin
 	ts := int64(0)

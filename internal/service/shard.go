@@ -135,6 +135,7 @@ func (s *Server) userIDs() []string {
 // cannot deadlock.
 func (s *Server) fullSnapshot() (published []publishedFrag, history map[string][]trace.Record, users map[string]*UserStats, stats ServerStats) {
 	for i := range s.shards {
+		//mood:allow lockscope -- deliberate full acquisition in index order for a point-in-time snapshot; see doc comment
 		s.shards[i].mu.Lock()
 	}
 	defer func() {
