@@ -113,6 +113,7 @@ func datasetCmd(args []string) error {
 
 	w := os.Stdout
 	if *out != "" {
+		//mood:allow persistio -- the -out CSV export is a CLI artifact, not server state
 		f, err := os.Create(*out)
 		if err != nil {
 			return err

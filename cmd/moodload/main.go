@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	moodload -scenario steady|burst|drift-retrain|restart
+//	moodload -scenario steady|burst|drift-retrain|restart|crash
 //	         [-seed 7] [-users 8] [-rounds 3] [-workers 0]
 //	         [-engine mood|echo] [-target URL] [-token T] [-out report.json]
 //
@@ -16,7 +16,9 @@
 // high-rate soaks of the service tier alone). The drift-retrain
 // scenario wires the same retrainer cmd/moodserver uses; the restart
 // scenario snapshots, closes and reboots the server in the middle of a
-// round (self-host only).
+// round; the crash scenario runs the server over a write-ahead log and
+// kills it mid-round without drain or snapshot — the reboot must
+// replay every acknowledged upload from the log (both self-host only).
 //
 // The report is printed to stdout as JSON and is deterministic for a
 // fixed seed: two runs of the same scenario produce byte-identical
@@ -38,6 +40,7 @@ import (
 	"mood"
 	"mood/internal/loadgen"
 	"mood/internal/service"
+	"mood/internal/store"
 	"mood/internal/trace"
 )
 
@@ -106,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *out != "" {
+		//mood:allow persistio -- the -out report is a CLI artifact, not server state
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
 			return err
 		}
@@ -120,13 +124,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 // ---------------------------------------------------------------------------
 // Self-hosted server with restart support.
 
-// selfHost is a loadgen.Host (the shared drain → snapshot → reboot →
-// swap machinery) bound to a real listener and a temp state directory.
+// selfHost is a loadgen.Host (the shared teardown → reboot → swap
+// machinery) bound to a real listener and a temp state directory.
+// reboot is the scenario's mid-round callback: Restart (drain +
+// snapshot) for the restart scenario, Crash (hard kill + WAL replay)
+// for the crash scenario.
 type selfHost struct {
 	url      string
 	hs       *http.Server
 	host     *loadgen.Host
 	stateDir string
+	reboot   func() error
 }
 
 func newSelfHost(cfg loadgen.Config, w loadgen.Workload, engine string) (*selfHost, error) {
@@ -138,12 +146,25 @@ func newSelfHost(cfg loadgen.Config, w loadgen.Workload, engine string) (*selfHo
 	if err != nil {
 		return nil, err
 	}
-	host, err := loadgen.NewHost(func() (*service.Server, error) {
-		return service.New(protector,
-			service.WithRetrainer(retrainer, 0),
-			service.WithAuthToken(cfg.AuthToken),
-		)
-	}, filepath.Join(dir, "state.json"))
+	var host *loadgen.Host
+	if cfg.Scenario == "crash" {
+		// Crash drills run over a write-ahead log: every ack is durable
+		// before it leaves the server, so the hard kill may lose nothing.
+		host, err = loadgen.NewWALHost(func(st store.Store) (*service.Server, error) {
+			return service.New(protector,
+				service.WithRetrainer(retrainer, 0),
+				service.WithAuthToken(cfg.AuthToken),
+				service.WithStore(st),
+			)
+		}, filepath.Join(dir, "wal"), nil)
+	} else {
+		host, err = loadgen.NewHost(func() (*service.Server, error) {
+			return service.New(protector,
+				service.WithRetrainer(retrainer, 0),
+				service.WithAuthToken(cfg.AuthToken),
+			)
+		}, filepath.Join(dir, "state.json"))
+	}
 	if err != nil {
 		os.RemoveAll(dir)
 		return nil, err
@@ -161,12 +182,17 @@ func newSelfHost(cfg loadgen.Config, w loadgen.Workload, engine string) (*selfHo
 		host:     host,
 		stateDir: dir,
 	}
+	if cfg.Scenario == "crash" {
+		h.reboot = host.Crash
+	} else {
+		h.reboot = host.Restart
+	}
 	go h.hs.Serve(ln) //nolint:errcheck // closed via h.close
 	return h, nil
 }
 
-// restart is the restart scenario's mid-round callback.
-func (h *selfHost) restart() error { return h.host.Restart() }
+// restart is the restart/crash scenario's mid-round callback.
+func (h *selfHost) restart() error { return h.reboot() }
 
 func (h *selfHost) close() {
 	h.hs.Close()

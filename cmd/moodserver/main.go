@@ -10,6 +10,7 @@
 //
 //	moodserver -background bg.csv [-addr :8080] [-seed 42] [-greedy]
 //	           [-token T] [-state snapshot.json]
+//	           [-store json|wal] [-wal-dir DIR] [-fsync always|group]
 //	           [-rate 0] [-burst 10] [-queue 64] [-workers 0]
 //	           [-request-timeout 2m]
 //	           [-retrain-interval 0] [-history-cap 50000]
@@ -27,9 +28,18 @@
 // pass can be triggered on demand with POST /v2/admin/retrain (always
 // available, behind -token when set).
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests finish, the upload queue drains, and a final state snapshot
-// is flushed to -state so no accepted upload is lost.
+// Durability: -state snapshots through the json store (loaded at
+// startup, checkpointed periodically with retry + backoff, flushed on
+// shutdown); -wal-dir switches to a segmented append-only write-ahead
+// log where, under -fsync=always, every upload is on stable storage
+// before it is acknowledged — a crash at ANY point (power loss, kill
+// -9) loses zero acked uploads, and reboot replays the log. -fsync=
+// group trades one fsync per upload for batched group commit. Either
+// way /v2/stats surfaces the checkpoint health.
+//
+// The server also shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests finish, the upload queue drains, and a final checkpoint is
+// flushed so no accepted upload is lost even without a WAL.
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"mood"
 	"mood/internal/clock"
 	"mood/internal/service"
+	"mood/internal/store"
 )
 
 func main() {
@@ -70,6 +81,9 @@ func runCtx(ctx context.Context, args []string) error {
 	delta := fs.Duration("delta", 0, "fine-grained stop threshold (default 4h)")
 	token := fs.String("token", "", "require this bearer token on every API call")
 	statePath := fs.String("state", "", "snapshot file: loaded at startup if present, saved periodically and on shutdown")
+	storeKind := fs.String("store", "", `durability backend: "json" (snapshot at -state) or "wal" (log at -wal-dir); default infers from which path flag is set`)
+	walDir := fs.String("wal-dir", "", "write-ahead log directory (implies -store=wal)")
+	fsync := fs.String("fsync", "always", `WAL sync policy: "always" (fsync before every ack) or "group" (batched group commit)`)
 	rate := fs.Float64("rate", 0, "per-user rate limit in requests/second (0 = unlimited)")
 	burst := fs.Int("burst", 10, "per-user rate-limit burst")
 	queue := fs.Int("queue", 64, "upload queue depth (full queue answers 503)")
@@ -82,6 +96,10 @@ func runCtx(ctx context.Context, args []string) error {
 	}
 	if *background == "" {
 		return fmt.Errorf("-background is required")
+	}
+	st, err := buildStore(*storeKind, *statePath, *walDir, *fsync)
+	if err != nil {
+		return err
 	}
 
 	bg, err := mood.LoadCSVFile(*background, "background")
@@ -103,7 +121,7 @@ func runCtx(ctx context.Context, args []string) error {
 	// idempotency TTL, retrain ticker, snapshot loop), so an embedder
 	// swapping in a clock.Manual steps the whole server coherently.
 	clk := clock.System()
-	srv, err := service.New(pipelineProtector{pipeline},
+	svcOpts := []service.Option{
 		service.WithClock(clk),
 		service.WithRateLimit(*rate, *burst),
 		service.WithQueueDepth(*queue),
@@ -112,30 +130,28 @@ func runCtx(ctx context.Context, args []string) error {
 		service.WithAuthToken(*token),
 		service.WithRetrainer(&pipelineRetrainer{base: pipeline, initial: bg.Traces}, *retrainInterval),
 		service.WithHistoryCap(*historyCap),
-	)
+	}
+	if st != nil {
+		svcOpts = append(svcOpts, service.WithStore(st))
+	}
+	srv, err := service.New(pipelineProtector{pipeline}, svcOpts...)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 
+	if st != nil {
+		// Replay the snapshot plus every record appended after it, and
+		// start the background checkpoint loop (periodic compaction with
+		// retry + backoff; health on /v2/stats).
+		if err := srv.Recover(); err != nil {
+			return err
+		}
+		log.Printf("moodserver: recovered state from %s store", st.Name())
+	}
+
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	snapshotDone := make(chan struct{})
-	close(snapshotDone) // replaced below when a snapshot loop runs
-	if *statePath != "" {
-		if _, serr := os.Stat(*statePath); serr == nil {
-			if err := srv.LoadState(*statePath); err != nil {
-				return err
-			}
-			log.Printf("moodserver: restored state from %s", *statePath)
-		}
-		snapshotDone = make(chan struct{})
-		go func() {
-			defer close(snapshotDone)
-			snapshotLoop(ctx, clk, srv, *statePath)
-		}()
-	}
 
 	log.Printf("moodserver: background %d users, attacks %v, listening on %s",
 		bg.NumUsers(), pipeline.Attacks(), *addr)
@@ -163,19 +179,50 @@ func runCtx(ctx context.Context, args []string) error {
 	shctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	shutdownErr := httpServer.Shutdown(shctx)
-	// Drain the upload queue before the final snapshot so every accepted
-	// upload is persisted, and join the periodic snapshot loop so a save
-	// that was already in flight cannot rename stale state over the
-	// final flush.
-	srv.Close()
-	<-snapshotDone
-	if *statePath != "" {
-		if err := srv.SaveState(*statePath); err != nil {
-			return fmt.Errorf("final snapshot: %w", err)
-		}
-		log.Printf("moodserver: final snapshot saved to %s", *statePath)
+	// Close drains the upload queue, joins the checkpoint loop, flushes
+	// a final checkpoint and closes the store — every accepted upload is
+	// persisted before the process exits.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("final checkpoint: %w", err)
+	}
+	if st != nil {
+		log.Printf("moodserver: final checkpoint flushed to %s store", st.Name())
 	}
 	return shutdownErr
+}
+
+// buildStore maps the durability flags onto a store backend. No path
+// flag means no durability (a purely in-memory server, as before the
+// store existed).
+func buildStore(kind, statePath, walDir, fsync string) (store.Store, error) {
+	if kind == "" {
+		switch {
+		case walDir != "":
+			kind = "wal"
+		case statePath != "":
+			kind = "json"
+		default:
+			return nil, nil
+		}
+	}
+	switch kind {
+	case "json":
+		if statePath == "" {
+			return nil, fmt.Errorf("-store=json requires -state")
+		}
+		return store.NewJSONFile(statePath, nil), nil
+	case "wal":
+		if walDir == "" {
+			return nil, fmt.Errorf("-store=wal requires -wal-dir")
+		}
+		mode, err := store.ParseFsyncMode(fsync)
+		if err != nil {
+			return nil, err
+		}
+		return store.NewWAL(store.WALOptions{Dir: walDir, Fsync: mode})
+	default:
+		return nil, fmt.Errorf("unknown -store %q (use \"json\" or \"wal\")", kind)
+	}
 }
 
 // writeTimeout leaves the handler-side timeout room to answer before
@@ -191,23 +238,6 @@ func writeTimeout(reqTimeout time.Duration) time.Duration {
 		reqTimeout = service.DefaultRequestTimeout
 	}
 	return reqTimeout + 30*time.Second
-}
-
-// snapshotLoop saves the server state once a minute until the context
-// ends (the final flush on shutdown is handled by runCtx).
-func snapshotLoop(ctx context.Context, clk clock.Clock, srv *service.Server, path string) {
-	ticker := clk.NewTicker(time.Minute)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C():
-			if err := srv.SaveState(path); err != nil {
-				log.Printf("moodserver: snapshot failed: %v", err)
-			}
-		case <-ctx.Done():
-			return
-		}
-	}
 }
 
 // pipelineProtector adapts the public Pipeline to the service interface.

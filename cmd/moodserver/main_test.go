@@ -20,6 +20,10 @@ func TestRunFlagErrors(t *testing.T) {
 		{},                                    // missing -background
 		{"-background", "/nonexistent.csv"},   // unreadable file
 		{"-background", "/dev/null", "-addr"}, // broken flag
+		{"-background", "/dev/null", "-store", "json"},                              // -store=json without -state
+		{"-background", "/dev/null", "-store", "wal"},                               // -store=wal without -wal-dir
+		{"-background", "/dev/null", "-store", "bogus"},                             // unknown backend
+		{"-background", "/dev/null", "-wal-dir", os.DevNull, "-fsync", "sometimes"}, // bad fsync mode
 	}
 	for _, args := range tests {
 		if err := run(args); err == nil {

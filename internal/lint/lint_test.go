@@ -36,6 +36,30 @@ func clockFor(allowed string) *analysis.Analyzer {
 	})
 }
 
+func TestPersistIO(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:       "testdata/persistio",
+		PkgPath:   "fixture/persistuser",
+		Analyzers: []*analysis.Analyzer{persistFor("fixture/persistallowed")},
+	})
+}
+
+func TestPersistIOAllowedPackage(t *testing.T) {
+	// Same analyzer, but the fixture type-checks as the allowed package:
+	// zero diagnostics expected (the fixture has no want comments).
+	linttest.Run(t, linttest.Fixture{
+		Dir:       "testdata/persistio/allowed",
+		PkgPath:   "fixture/persistallowed",
+		Analyzers: []*analysis.Analyzer{persistFor("fixture/persistallowed")},
+	})
+}
+
+func persistFor(allowed string) *analysis.Analyzer {
+	return lint.PersistIO(lint.PersistIOConfig{
+		AllowedPackages: map[string]bool{allowed: true},
+	})
+}
+
 func TestDetRand(t *testing.T) {
 	linttest.Run(t, linttest.Fixture{
 		Dir:       "testdata/detrand",

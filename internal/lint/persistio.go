@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/types"
+
+	"mood/internal/lint/analysis"
+)
+
+// persistFuncs are the os-package functions that create, overwrite or
+// move files. Calling any of them outside internal/store means durable
+// state is being written behind the Store abstraction's back — invisible
+// to the WAL, to crash recovery, and to the fault-injection harness
+// that proves no acked upload is ever lost.
+var persistFuncs = map[string]bool{
+	"WriteFile":  true,
+	"Create":     true,
+	"CreateTemp": true,
+	"OpenFile":   true,
+	"Rename":     true,
+}
+
+// PersistIOConfig scopes the analyzer.
+type PersistIOConfig struct {
+	// AllowedPackages may touch the filesystem directly: the store
+	// package itself, plus bulk codecs that write export artifacts
+	// rather than server state.
+	AllowedPackages map[string]bool
+}
+
+// DefaultPersistIO is the repo rule: only internal/store writes files
+// (it is the durability layer), and internal/traceio keeps its direct
+// writers (CSV/gzip dataset export is a codec concern, not server
+// state). Everything else either goes through store.Store /
+// store.AtomicWriteFile or carries a per-line waiver naming why the
+// write is not state (e.g. a CLI's -out report). _test.go files are
+// exempt — tests write fixtures into t.TempDir freely.
+func DefaultPersistIO() *analysis.Analyzer {
+	return PersistIO(PersistIOConfig{
+		AllowedPackages: map[string]bool{
+			"mood/internal/store":   true,
+			"mood/internal/traceio": true,
+		},
+	})
+}
+
+// PersistIO builds the analyzer for the given scope.
+func PersistIO(cfg PersistIOConfig) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "persistio",
+		Doc: "forbid os.WriteFile/Create/CreateTemp/OpenFile/Rename outside internal/store " +
+			"so every durable write is visible to the WAL, recovery and fault injection (PR 7)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if cfg.AllowedPackages[pass.PkgPath()] {
+			return nil
+		}
+		for _, id := range sortedUses(pass) {
+			obj := pass.TypesInfo.Uses[id]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				continue
+			}
+			if fn.Signature().Recv() != nil || !persistFuncs[fn.Name()] {
+				continue
+			}
+			if pass.InTestFile(id.Pos()) {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"os.%s writes the filesystem directly: go through store.Store or store.AtomicWriteFile (persist discipline, PR 7)",
+				fn.Name())
+		}
+		return nil
+	}
+	return a
+}

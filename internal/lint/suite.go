@@ -12,5 +12,6 @@ func Suite() []*analysis.Analyzer {
 		DefaultMapOrder(),
 		DefaultRouteTable(),
 		DefaultLockScope(),
+		DefaultPersistIO(),
 	}
 }

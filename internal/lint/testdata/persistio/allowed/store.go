@@ -1,0 +1,13 @@
+// Package fixture stands in for the store package itself: listed in
+// AllowedPackages, it may write the filesystem freely — it IS the
+// durability layer everything else must go through.
+package fixture
+
+import "os"
+
+func wrapsTheFilesystem() error {
+	if err := os.WriteFile("seg.tmp", nil, 0o644); err != nil {
+		return err
+	}
+	return os.Rename("seg.tmp", "seg")
+}

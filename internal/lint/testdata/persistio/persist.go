@@ -1,0 +1,41 @@
+// Package fixture exercises persistio: direct file creation, overwrite
+// and rename through the os package are flagged; reads, removals and
+// waived lines are not.
+package fixture
+
+import "os"
+
+func direct() error {
+	if err := os.WriteFile("state.json", nil, 0o644); err != nil { // want `persistio: os\.WriteFile writes the filesystem directly`
+		return err
+	}
+	f, err := os.Create("out.csv") // want `persistio: os\.Create writes the filesystem directly`
+	if err != nil {
+		return err
+	}
+	f.Close()
+	if _, err := os.CreateTemp("", "tmp-*"); err != nil { // want `persistio: os\.CreateTemp writes the filesystem directly`
+		return err
+	}
+	if _, err := os.OpenFile("wal.seg", os.O_CREATE|os.O_WRONLY, 0o644); err != nil { // want `persistio: os\.OpenFile writes the filesystem directly`
+		return err
+	}
+	return os.Rename("a", "b") // want `persistio: os\.Rename writes the filesystem directly`
+}
+
+// Reads and deletes do not persist state; they are out of scope.
+func readsAndRemovesAreFine() {
+	_, _ = os.ReadFile("state.json")
+	_, _ = os.Open("state.json")
+	_ = os.Remove("state.json")
+	_, _ = os.Stat("state.json")
+}
+
+func waivedAbove() {
+	//mood:allow persistio -- fixture: sanctioned direct write, waiver on the line above
+	_ = os.WriteFile("report.json", nil, 0o644)
+}
+
+func waivedTrailing() {
+	_ = os.Rename("a", "b") //mood:allow persistio -- fixture: sanctioned direct rename, trailing waiver
+}

@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"io"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"mood/internal/service"
+	"mood/internal/store"
+)
+
+// TestCrashUnderLoadKeepsInvariants is the hard-kill cousin of the
+// restart drill: mid-round, the live server's filesystem is severed
+// mid-write (no drain, no snapshot — the in-process shape of kill -9)
+// and a replacement reboots from whatever the WAL holds. Under
+// fsync=always every acknowledged upload is on the log before the ack,
+// so the driver's keyed retries plus replay must reconcile to exactly
+// the same invariants as an uninterrupted run — exactly-once delivery,
+// record conservation, per-user aggregation, dataset shape.
+func TestCrashUnderLoadKeepsInvariants(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	host, err := NewWALHost(func(st store.Store) (*service.Server, error) {
+		return service.New(EchoProtector{}, service.WithStore(st))
+	}, walDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { host.Close() })
+	hs := httptest.NewServer(host)
+	t.Cleanup(hs.Close)
+
+	crashed := false
+	cfg, err := Scenario("crash", 33, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := host.Current()
+	cfg.Restart = func() error {
+		if err := host.Crash(); err != nil {
+			return err
+		}
+		crashed = true
+		return nil
+	}
+
+	rep, err := Run(cfg, hs.URL, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crashed {
+		t.Fatal("crash callback never ran")
+	}
+	if host.Current() == first {
+		t.Fatal("crash did not replace the server")
+	}
+	if !rep.OK {
+		t.Fatalf("invariants broken across the crash: %+v", rep.Violations)
+	}
+	if rep.Requests.Uploads == 0 || rep.Requests.Replays == 0 {
+		t.Fatalf("degenerate run: %+v", rep.Requests)
+	}
+
+	// Recovery fidelity: one more cold boot from the same log must
+	// reconstruct the final server's accounting exactly. Close the host
+	// first (idempotent; flushes the final checkpoint and releases the
+	// log) so the reborn server owns the directory alone.
+	final := host.Current()
+	wantStats, wantUsers := final.Stats(), len(final.Users())
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := store.NewWAL(store.WALOptions{Dir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reborn, err := service.New(EchoProtector{}, service.WithStore(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reborn.Close() })
+	if err := reborn.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reborn.Stats(); got != wantStats {
+		t.Fatalf("stats changed across replay:\n got %+v\nwant %+v", got, wantStats)
+	}
+	if got := len(reborn.Users()); got != wantUsers {
+		t.Fatalf("users changed across replay: %d vs %d", got, wantUsers)
+	}
+}

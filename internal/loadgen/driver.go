@@ -441,6 +441,12 @@ func (d *Driver) awaitJob(o op, id string) (ok bool, vio *Violation) {
 		case service.JobDone:
 			return true, nil
 		case service.JobFailed:
+			if strings.HasPrefix(j.Error, "storage: ") {
+				// The durability layer refused the commit (dying disk
+				// during a crash window): nothing was applied, the key was
+				// released — re-deliver, exactly like a sync 503.
+				return false, nil
+			}
 			return false, &Violation{
 				Invariant: "upload-accepted",
 				Detail:    fmt.Sprintf("async upload (%s,%s) failed: %s", o.user, o.key, j.Error),

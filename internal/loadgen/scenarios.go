@@ -56,6 +56,18 @@ var Scenarios = map[string]func(seed uint64, users, rounds int) Config{
 		c.RestartAfterRound = (rounds + 1) / 2
 		return c
 	},
+	// crash: like restart, but the mid-round teardown is a SIGKILL-style
+	// stop — no drain, no snapshot — and the reboot replays the WAL. The
+	// heavier retry/async mix maximises the traffic in flight at the
+	// moment of death. The harness wires the callback to Host.Crash.
+	"crash": func(seed uint64, users, rounds int) Config {
+		c := steadyScenario(seed, users, rounds)
+		c.Scenario = "crash"
+		c.RetryFraction = 0.3
+		c.AsyncFraction = 0.3
+		c.RestartAfterRound = (rounds + 1) / 2
+		return c
+	},
 }
 
 func steadyScenario(seed uint64, users, rounds int) Config {

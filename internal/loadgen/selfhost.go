@@ -9,22 +9,31 @@ import (
 	"mood/internal/core"
 	"mood/internal/mathx"
 	"mood/internal/service"
+	"mood/internal/store"
 	"mood/internal/trace"
 )
 
 // Host runs a service.Server behind one stable http.Handler whose
-// backend can be torn down and rebooted from its snapshot — the
-// in-process shape of "the process restarted behind the load
-// balancer". It is the restart scenario's Restart callback, shared by
-// cmd/moodload and the restart-under-load e2e test so the
-// drain → snapshot → reboot → swap sequence exists exactly once.
+// backend can be torn down and rebooted — the in-process shape of "the
+// process restarted behind the load balancer". Snapshot hosts (NewHost)
+// support the graceful drain → snapshot → reboot → swap of the restart
+// scenario; WAL hosts (NewWALHost) additionally support Crash, the
+// SIGKILL-style stop of the crash scenario. Shared by cmd/moodload and
+// the e2e tests so each teardown sequence exists exactly once.
 type Host struct {
 	mk        func() (*service.Server, error)
 	statePath string
 	handler   atomic.Value // http.Handler
 
+	// WAL hosts: every incarnation runs over a fresh fault wrapper of
+	// baseFS, so Crash can sever the previous one mid-write.
+	mkWAL  func(store.Store) (*service.Server, error)
+	walDir string
+	baseFS store.FS
+
 	mu      sync.Mutex
 	current *service.Server
+	curFS   *store.FaultFS // nil on snapshot hosts
 }
 
 // NewHost boots the first server via mk. statePath is where Restart
@@ -37,6 +46,43 @@ func NewHost(mk func() (*service.Server, error), statePath string) (*Host, error
 	h := &Host{mk: mk, statePath: statePath, current: srv}
 	h.handler.Store(srv.Handler())
 	return h, nil
+}
+
+// NewWALHost boots the first server over a write-ahead log in dir on
+// fsys (nil = the real filesystem). mk receives the incarnation's store
+// and must pass it to the server (service.WithStore); the host recovers
+// each incarnation before swapping it in.
+func NewWALHost(mk func(store.Store) (*service.Server, error), dir string, fsys store.FS) (*Host, error) {
+	if fsys == nil {
+		fsys = store.OS()
+	}
+	h := &Host{mkWAL: mk, walDir: dir, baseFS: fsys}
+	srv, ffs, err := h.bootWAL()
+	if err != nil {
+		return nil, err
+	}
+	h.current, h.curFS = srv, ffs
+	h.handler.Store(srv.Handler())
+	return h, nil
+}
+
+// bootWAL builds one incarnation: fresh fault wrapper, fresh WAL over
+// it, recovered server.
+func (h *Host) bootWAL() (*service.Server, *store.FaultFS, error) {
+	ffs := store.NewFaultFS(h.baseFS)
+	w, err := store.NewWAL(store.WALOptions{Dir: h.walDir, FS: ffs, Fsync: store.FsyncAlways})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := h.mkWAL(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := srv.Recover(); err != nil {
+		srv.Close() //nolint:errcheck // already failing; report the recovery error
+		return nil, nil, err
+	}
+	return srv, ffs, nil
 }
 
 // ServeHTTP dispatches to the current backend; during a restart it
@@ -62,12 +108,10 @@ func (h *Host) Current() *service.Server {
 func (h *Host) Restart() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Retry-After", "1")
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, `{"error":"restarting"}`)
-	}))
+	if h.mk == nil {
+		return fmt.Errorf("loadgen: Restart on a WAL host (use Crash)")
+	}
+	h.handler.Store(downHandler())
 	old := h.current
 	if err := old.Close(); err != nil {
 		return err
@@ -86,6 +130,47 @@ func (h *Host) Restart() error {
 	h.current = next
 	h.handler.Store(next.Handler())
 	return nil
+}
+
+// Crash kills the live server the hard way: no drain, no snapshot, no
+// final flush — its filesystem dies mid-write, exactly like SIGKILL or
+// power loss — then reboots a replacement from whatever the WAL holds.
+// Everything the old incarnation acknowledged under fsync=always is on
+// the log and must survive; everything else is legitimately lost and
+// re-delivered by the driver's retries. Only valid on WAL hosts.
+func (h *Host) Crash() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.mkWAL == nil {
+		return fmt.Errorf("loadgen: Crash on a snapshot host (use Restart)")
+	}
+	h.handler.Store(downHandler())
+	// Sever the disk first: in-flight writes die, nothing unsynced can
+	// land after this point, and the fault layer waits out stragglers so
+	// no zombie write races the reboot.
+	h.curFS.Kill()
+	// Reaping the old incarnation's goroutines is test-process hygiene,
+	// not a drain — with its filesystem dead, its shutdown path cannot
+	// touch the log.
+	h.current.Close() //nolint:errcheck // the dead store makes this fail by design
+	next, ffs, err := h.bootWAL()
+	if err != nil {
+		return err
+	}
+	h.current, h.curFS = next, ffs
+	h.handler.Store(next.Handler())
+	return nil
+}
+
+// downHandler answers for the backend while it is being replaced; the
+// driver (and any well-behaved client) retries the 503.
+func downHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"restarting"}`)
+	})
 }
 
 // Close shuts the live server down.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -18,9 +19,8 @@ import (
 // them unlocked while uploads keep committing, then re-locks to remove
 // the condemned fragments by their Seq handle. An upload that loaded
 // the pre-swap engine and commits after this pass snapshotted its shard
-// is caught by the commit path itself: protectAndCommit notices the
-// epoch changed under it and re-audits its own fragments against the
-// current auditor. Removal by seq is idempotent, so the two paths can
+// is caught by the commit path itself: runJob notices the epoch changed
+// under it and re-audits its own fragments against the current auditor. Removal by seq is idempotent, so the two paths can
 // overlap freely; Retrain serialises full passes against each other.
 
 // auditPublished re-checks every published fragment with a known owner
@@ -112,6 +112,30 @@ func (s *Server) auditFrags(sh *stateShard, a Auditor, frags []publishedFrag) (a
 		return audited, 0
 	}
 
+	// Log the quarantine and apply it under one read-hold of the
+	// consistency barrier, so a checkpoint cannot capture the removal
+	// while the record that justifies it is still unwritten. The record
+	// is best-effort (a lost quarantine re-derives on the next audit
+	// pass), so a poisoned store does not block the removal itself.
+	seqs := make([]int64, 0, len(condemned))
+	for q := range condemned {
+		seqs = append(seqs, q)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	s.storeGate.RLock()
+	defer s.storeGate.RUnlock()
+	if s.store != nil {
+		if r, err := encodeRec(recQuarantine, walQuarantine{Seqs: seqs}); err == nil {
+			s.store.Append(r) //nolint:errcheck // best-effort; see above
+		}
+	}
+	return audited, s.removeCondemned(sh, condemned)
+}
+
+// removeCondemned drops the condemned fragments (by seq) from one shard
+// and updates the quarantine accounting. Shared by the live audit pass
+// and WAL quarantine-record replay; removal by seq is idempotent.
+func (s *Server) removeCondemned(sh *stateShard, condemned map[int64]bool) (quarantined int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	kept := sh.published[:0]
@@ -142,5 +166,5 @@ func (s *Server) auditFrags(sh *stateShard, a Auditor, frags []publishedFrag) (a
 		// dataset ETag and assembly cache (see dataset.go).
 		s.quarGen.Add(1)
 	}
-	return audited, quarantined
+	return quarantined
 }

@@ -1,0 +1,588 @@
+// Crash-safe durability for the service tier.
+//
+// When a store.Store is configured (WithStore), every upload commit is
+// appended to it as a durable record *before* its effects are applied
+// to the in-memory state or acknowledged to the client: under
+// -fsync=always an acked chunk is on stable storage, so a crash at any
+// point loses zero acked uploads. On boot, Recover replays the latest
+// snapshot plus every record appended after it, rebuilding exactly the
+// acknowledged state. A background checkpoint loop compacts the log
+// into a fresh snapshot whenever enough has accumulated, retrying
+// failures with backoff on the injected clock and surfacing its health
+// in /v2/stats.
+//
+// Consistency barrier. Commits append-then-apply while holding
+// storeGate.RLock; Checkpoint holds the write lock across Mark and the
+// state capture. This makes append+apply atomic with respect to the
+// snapshot: every record appended before the Mark has its effects in
+// the captured state (so compaction never drops an uncovered record),
+// and no record can land between the Mark and the capture. Lock order
+// is storeGate before shard mutexes, everywhere.
+//
+// Exactly-once across crashes. A keyed upload's commit record, its
+// idempotency completion and (for async) its terminal job status are
+// appended as ONE atomic batch: recovery restores the dedupe entry
+// together with the commit, so a client retrying an acked chunk after
+// a crash replays the original outcome instead of committing twice.
+// When the append itself fails, nothing is applied and the key is
+// released — the client sees 503 storage_unavailable and its retry
+// re-executes (at-most-once per ack, always).
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mood/internal/core"
+	"mood/internal/store"
+	"mood/internal/trace"
+)
+
+// Record types of the service tier's WAL schema. Payloads are JSON —
+// the same shapes the snapshot file uses, so the two durability paths
+// cannot drift apart. Unknown types are skipped on replay (forward
+// compatibility: an older binary recovering a newer log keeps what it
+// understands).
+const (
+	recUploadCommit byte = 1
+	recIdemComplete byte = 2
+	recJobTerminal  byte = 3
+	recQuarantine   byte = 4
+	recRetrainEpoch byte = 5
+)
+
+// walUploadCommit is the durable form of one committed upload: the
+// accounting deltas, the published fragments (with their durable Seq
+// handles), and the raw history records when the retrain subsystem
+// consumes them.
+type walUploadCommit struct {
+	User      string          `json:"user"`
+	RecordsIn int             `json:"records_in"`
+	Accepted  int             `json:"accepted"`
+	Rejected  int             `json:"rejected"`
+	Frags     []persistedFrag `json:"frags,omitempty"`
+	History   []trace.Record  `json:"history,omitempty"`
+	// Pseudo is the highest pseudonym counter value this commit
+	// allocated (0 = none); replay folds it in with max semantics.
+	Pseudo int64 `json:"pseudo,omitempty"`
+}
+
+// walQuarantine records fragments pulled by a re-audit pass, by Seq.
+type walQuarantine struct {
+	Seqs []int64 `json:"seqs"`
+}
+
+// walRetrain records a completed retrain pass (max semantics: the
+// counter also rides in every snapshot).
+type walRetrain struct {
+	Retrains int64 `json:"retrains"`
+}
+
+// storageError marks a commit refused because its durability append
+// failed: nothing was applied, nothing acked. Callers map it to
+// 503 + storage_unavailable so clients retry instead of treating it as
+// a fatal engine error.
+type storageError struct{ err error }
+
+func (e *storageError) Error() string { return "storage: " + e.err.Error() }
+func (e *storageError) Unwrap() error { return e.err }
+
+// encodeRec marshals one WAL record payload.
+func encodeRec(typ byte, v any) (store.Record, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return store.Record{}, err
+	}
+	return store.Record{Type: typ, Payload: data}, nil
+}
+
+// ---------------------------------------------------------------------------
+// The commit path.
+
+// preparedCommit is an upload commit staged outside every lock:
+// pseudonyms and fragment sequence numbers are drawn from the atomics
+// up front so the durable record and the in-memory apply agree exactly.
+type preparedCommit struct {
+	resp   UploadResponse
+	frags  []publishedFrag
+	seqs   []int64
+	pseudo int64 // highest pseudonym counter drawn; 0 = none
+}
+
+// prepareCommit stages the result of one protected upload. Sequence
+// numbers drawn here are burned even if the commit is later refused;
+// they only need to be unique.
+func (s *Server) prepareCommit(t trace.Trace, res core.Result) preparedCommit {
+	pc := preparedCommit{resp: UploadResponse{
+		Accepted: res.ProtectedRecords(),
+		Rejected: res.LostRecords,
+	}}
+	for _, p := range res.Pieces {
+		pub := p.Trace
+		if pub.User == t.User {
+			// Whole-trace pieces keep the engine-side identity; the
+			// middleware never publishes a raw uploader ID, so relabel
+			// with a server-scoped pseudonym.
+			n := s.pseudo.Add(1)
+			if n > pc.pseudo {
+				pc.pseudo = n
+			}
+			pub = pub.WithUser(fmt.Sprintf("pub-%06d", n))
+		}
+		seq := s.fragSeq.Add(1)
+		pc.frags = append(pc.frags, publishedFrag{Seq: seq, Trace: pub, Owner: t.User})
+		pc.seqs = append(pc.seqs, seq)
+		pc.resp.Pieces++
+		pc.resp.Mechanisms = append(pc.resp.Mechanisms, p.Mechanism)
+	}
+	return pc
+}
+
+// commitDurable makes one upload's commit durable and applies it:
+// append the atomic record batch (commit + idempotency completion +
+// terminal job status), then fold the effects into the shard, the
+// dedupe window and the job store — all under the consistency barrier.
+// A failed append applies NOTHING and returns a storageError: the
+// client gets a retryable 503 and, because no record exists, its retry
+// cannot double-commit.
+func (s *Server) commitDurable(j *uploadJob, res core.Result) (UploadResponse, []int64, error) {
+	pc := s.prepareCommit(j.trace, res)
+	s.storeGate.RLock()
+	defer s.storeGate.RUnlock()
+	if s.store != nil {
+		recs, err := s.commitRecords(j, pc)
+		if err == nil {
+			err = s.store.Append(recs...)
+		}
+		if err != nil {
+			return UploadResponse{}, nil, &storageError{err: err}
+		}
+	}
+	s.applyCommit(j, pc)
+	return pc.resp, pc.seqs, nil
+}
+
+// commitRecords builds the atomic record batch for one upload. The
+// idempotency completion and terminal job status ride in the same
+// frame as the commit so recovery can never observe one without the
+// others — the exactly-once guarantee for keyed retries across a
+// crash.
+func (s *Server) commitRecords(j *uploadJob, pc preparedCommit) ([]store.Record, error) {
+	t := j.trace
+	c := walUploadCommit{
+		User:      t.User,
+		RecordsIn: t.Len(),
+		Accepted:  pc.resp.Accepted,
+		Rejected:  pc.resp.Rejected,
+		Pseudo:    pc.pseudo,
+	}
+	for _, f := range pc.frags {
+		c.Frags = append(c.Frags, persistedFrag{Seq: f.Seq, Trace: f.Trace, Owner: f.Owner})
+	}
+	if s.opts.Retrainer != nil && s.opts.HistoryCap > 0 {
+		c.History = t.Records
+	}
+	// The commit record is binary (walcodec.go): one per acked upload,
+	// so JSON float formatting of its coordinates would dominate the
+	// commit path's CPU.
+	recs := []store.Record{{Type: recUploadCommit, Payload: encodeUploadCommit(c)}}
+	if j.idem != nil {
+		rec, err := encodeRec(recIdemComplete, persistedIdem{
+			Key: idemKey(t.User, j.idemKey), FP: j.idem.fp, JobID: j.id, Resp: pc.resp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	if j.id != "" {
+		rec, err := encodeRec(recJobTerminal, JobStatus{
+			ID: j.id, User: t.User, State: JobDone, Result: &pc.resp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// applyCommit folds a staged commit into the in-memory state. Callers
+// hold storeGate.RLock when a store is configured. Completion order is
+// load-bearing: shard first, then the idempotency entry, then the job
+// — the same monotone order the snapshot capture relies on (see
+// captureState).
+func (s *Server) applyCommit(j *uploadJob, pc preparedCommit) {
+	t := j.trace
+	sh := s.shard(t.User)
+	sh.mu.Lock()
+	us, ok := sh.users[t.User]
+	if !ok {
+		us = &UserStats{}
+		sh.users[t.User] = us
+		sh.stats.Users++
+	}
+	us.Uploads++
+	us.RecordsIn += t.Len()
+	us.RecordsPublished += pc.resp.Accepted
+	us.RecordsRejected += pc.resp.Rejected
+	us.Pieces += len(pc.frags)
+	sh.stats.Uploads++
+	sh.stats.RecordsIn += t.Len()
+	sh.stats.RecordsPublished += pc.resp.Accepted
+	sh.stats.RecordsRejected += pc.resp.Rejected
+	if s.opts.Retrainer != nil && s.opts.HistoryCap > 0 {
+		// The raw chunk joins the user's bounded history: it is what a
+		// real adversary could have collected by now, so it is what the
+		// next retrain pass must train against (§6 dynamic protection).
+		// The generation bump lets the periodic loop skip ticks where
+		// nothing new arrived.
+		sh.recordHistory(t.User, t.Records, s.opts.HistoryCap)
+		s.histGen.Add(1)
+	}
+	sh.published = append(sh.published, pc.frags...)
+	sh.mu.Unlock()
+	if j.idem != nil {
+		s.idem.complete(t.User, j.idemKey, j.idem, pc.resp, nil)
+	}
+	if j.id != "" {
+		s.jobs.setDone(j.id, pc.resp)
+	}
+}
+
+// finishJob delivers a completed job's outcome. Successful commits were
+// already published to the idempotency window and job store by
+// applyCommit; failures release the key (the retry must re-execute —
+// nothing was committed) and, for async jobs, persist the terminal
+// failure best-effort so pollers see it across a restart.
+func (s *Server) finishJob(j *uploadJob, resp UploadResponse, err error) {
+	if err == nil {
+		if j.done != nil {
+			j.done <- uploadOutcome{resp: resp}
+		}
+		return
+	}
+	if j.idem != nil {
+		s.idem.complete(j.trace.User, j.idemKey, j.idem, UploadResponse{}, err)
+	}
+	if j.done != nil {
+		j.done <- uploadOutcome{err: err}
+		return
+	}
+	s.jobs.setFailed(j.id, err)
+	s.appendBestEffort(recJobTerminal, JobStatus{
+		ID: j.id, User: j.trace.User, State: JobFailed, Error: err.Error(),
+	})
+}
+
+// appendBestEffort appends a record whose loss a crash can tolerate
+// (failed jobs, retrain counters): the effect is applied regardless,
+// and the periodic checkpoint will persist it via the snapshot. The
+// storage error, if any, surfaces through the checkpoint health in
+// /v2/stats rather than failing the caller.
+func (s *Server) appendBestEffort(typ byte, v any) {
+	if s.store == nil {
+		return
+	}
+	s.storeGate.RLock()
+	defer s.storeGate.RUnlock()
+	rec, err := encodeRec(typ, v)
+	if err == nil {
+		s.store.Append(rec) //nolint:errcheck // best-effort by contract
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+
+// Recover loads the configured store and rebuilds the acknowledged
+// state: the latest snapshot, then every record appended after it, in
+// order. Call exactly once, after New and before serving traffic. It
+// also starts the background checkpoint loop (see checkpointLoop);
+// starting it here rather than in New means a half-recovered server can
+// never compact pre-recovery emptiness over a real log.
+func (s *Server) Recover() error {
+	if s.store == nil {
+		return errors.New("service: Recover without a store configured")
+	}
+	if !s.recovered.CompareAndSwap(false, true) {
+		return errors.New("service: Recover called twice")
+	}
+	snap, recs, err := s.store.Load()
+	if err != nil {
+		return &storageError{err: err}
+	}
+	if len(snap) > 0 {
+		if err := s.applySnapshot(snap); err != nil {
+			return err
+		}
+	}
+	for _, r := range recs {
+		s.applyRecord(r)
+	}
+	if s.opts.CheckpointInterval > 0 {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop(s.opts.CheckpointInterval)
+	}
+	return nil
+}
+
+// applyRecord replays one WAL record. Records are CRC-verified by the
+// store, so a payload that fails to decode is a schema difference, not
+// corruption — it is skipped, keeping recovery forward compatible.
+func (s *Server) applyRecord(r store.Record) {
+	switch r.Type {
+	case recUploadCommit:
+		if c, err := decodeUploadCommit(r.Payload); err == nil {
+			s.replayCommit(c)
+		}
+	case recIdemComplete:
+		var pe persistedIdem
+		if json.Unmarshal(r.Payload, &pe) == nil {
+			s.idem.applyRestored(pe)
+		}
+	case recJobTerminal:
+		var js JobStatus
+		if json.Unmarshal(r.Payload, &js) == nil {
+			s.jobs.applyTerminal(js)
+		}
+	case recQuarantine:
+		var q walQuarantine
+		if json.Unmarshal(r.Payload, &q) == nil {
+			s.replayQuarantine(q.Seqs)
+		}
+	case recRetrainEpoch:
+		var rr walRetrain
+		if json.Unmarshal(r.Payload, &rr) == nil {
+			storeMax(&s.retrains, rr.Retrains)
+		}
+	}
+}
+
+// replayCommit re-applies one committed upload from its durable record.
+func (s *Server) replayCommit(c walUploadCommit) {
+	if c.User == "" {
+		return
+	}
+	sh := s.shard(c.User)
+	sh.mu.Lock()
+	us, ok := sh.users[c.User]
+	if !ok {
+		us = &UserStats{}
+		sh.users[c.User] = us
+		sh.stats.Users++
+	}
+	us.Uploads++
+	us.RecordsIn += c.RecordsIn
+	us.RecordsPublished += c.Accepted
+	us.RecordsRejected += c.Rejected
+	us.Pieces += len(c.Frags)
+	sh.stats.Uploads++
+	sh.stats.RecordsIn += c.RecordsIn
+	sh.stats.RecordsPublished += c.Accepted
+	sh.stats.RecordsRejected += c.Rejected
+	if len(c.History) > 0 && s.opts.Retrainer != nil && s.opts.HistoryCap > 0 {
+		sh.recordHistory(c.User, c.History, s.opts.HistoryCap)
+		s.histGen.Add(1)
+	}
+	var maxSeq int64
+	for _, f := range c.Frags {
+		sh.published = append(sh.published, publishedFrag{Seq: f.Seq, Trace: f.Trace, Owner: f.Owner})
+		if f.Seq > maxSeq {
+			maxSeq = f.Seq
+		}
+	}
+	sh.mu.Unlock()
+	storeMax(&s.fragSeq, maxSeq)
+	storeMax(&s.pseudo, c.Pseudo)
+}
+
+// replayQuarantine re-applies a quarantine record: remove the condemned
+// fragments wherever they live. Removal by Seq is idempotent, so a
+// record covering fragments a snapshot already dropped is harmless.
+func (s *Server) replayQuarantine(seqs []int64) {
+	if len(seqs) == 0 {
+		return
+	}
+	condemned := make(map[int64]bool, len(seqs))
+	for _, q := range seqs {
+		condemned[q] = true
+	}
+	for i := range s.shards {
+		s.removeCondemned(&s.shards[i], condemned)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing.
+
+// Checkpoint compacts the log into a fresh snapshot now: fence the log
+// (Mark) and capture the state under the write side of the consistency
+// barrier, then install the snapshot and prune the covered log. Safe to
+// call concurrently with uploads; commits briefly queue on the gate
+// during the capture.
+func (s *Server) Checkpoint() error {
+	if s.store == nil {
+		return errors.New("service: Checkpoint without a store configured")
+	}
+	if !s.recovered.Load() {
+		return errors.New("service: Checkpoint before Recover")
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	s.storeGate.Lock()
+	pos, err := s.store.Mark()
+	if err != nil {
+		s.storeGate.Unlock()
+		s.notePersist(err)
+		return err
+	}
+	data, err := s.captureState()
+	s.storeGate.Unlock()
+	if err == nil {
+		err = s.store.Compact(data, pos)
+	}
+	s.notePersist(err)
+	return err
+}
+
+// checkpointLoop compacts periodically on the injected clock. A failing
+// checkpoint (disk full, dead volume) is retried with doubling backoff
+// — capped, forever: the WAL keeps every commit durable meanwhile, so
+// the only cost of a long outage is a longer replay. Health (count,
+// failures, last error, age of the last success) is surfaced in
+// /v2/stats.
+func (s *Server) checkpointLoop(interval time.Duration) {
+	defer close(s.ckptDone)
+	ticker := s.clk.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C():
+			if s.store.NeedsCompaction() {
+				s.checkpointWithRetry()
+			}
+			// The tick counter is the test rendezvous: once it advances,
+			// this tick's decision (skip or checkpoint, retries included)
+			// is fully settled.
+			s.ckptTicks.Add(1)
+		case <-s.ckptStop:
+			return
+		}
+	}
+}
+
+// checkpointWithRetry drives one checkpoint to success or shutdown.
+func (s *Server) checkpointWithRetry() {
+	backoff := time.Second
+	for {
+		if s.Checkpoint() == nil {
+			return
+		}
+		select {
+		case <-s.clk.After(backoff):
+		case <-s.ckptStop:
+			return
+		}
+		backoff *= 2
+		if backoff > 30*time.Second {
+			backoff = 30 * time.Second
+		}
+	}
+}
+
+// persistState tracks checkpoint health for /v2/stats.
+type persistState struct {
+	checkpoints int64
+	failures    int64
+	lastErr     string
+	lastOK      time.Time
+	hasOK       bool
+}
+
+// notePersist records one checkpoint outcome.
+func (s *Server) notePersist(err error) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if err != nil {
+		s.persist.failures++
+		s.persist.lastErr = err.Error()
+		return
+	}
+	s.persist.checkpoints++
+	s.persist.lastErr = ""
+	s.persist.lastOK = s.clk.Now()
+	s.persist.hasOK = true
+}
+
+// PersistenceStats reports durability health on /v2/stats when a store
+// is configured.
+type PersistenceStats struct {
+	// Store names the backend ("json", "wal").
+	Store string `json:"store"`
+	// Checkpoints and CheckpointFailures count snapshot compactions.
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+	// LastError is the most recent checkpoint failure ("" after a
+	// success).
+	LastError string `json:"last_error,omitempty"`
+	// LastSuccessAgeMillis is the age of the last successful
+	// checkpoint; -1 means none has succeeded yet.
+	LastSuccessAgeMillis int64 `json:"last_success_age_ms"`
+}
+
+// StatsPayload is the GET /v{1,2}/stats body. The embedded ServerStats
+// flattens, and Persistence is omitted when no store is configured, so
+// store-less servers keep the historical byte-identical shape.
+type StatsPayload struct {
+	ServerStats
+	Persistence *PersistenceStats `json:"persistence,omitempty"`
+}
+
+func (s *Server) statsPayload() StatsPayload {
+	out := StatsPayload{ServerStats: s.statsSnapshot()}
+	if s.store == nil {
+		return out
+	}
+	ps := &PersistenceStats{Store: s.store.Name(), LastSuccessAgeMillis: -1}
+	s.persistMu.Lock()
+	ps.Checkpoints = s.persist.checkpoints
+	ps.CheckpointFailures = s.persist.failures
+	ps.LastError = s.persist.lastErr
+	if s.persist.hasOK {
+		ps.LastSuccessAgeMillis = s.clk.Since(s.persist.lastOK).Milliseconds()
+	}
+	s.persistMu.Unlock()
+	out.Persistence = ps
+	return out
+}
+
+// storageOutcome maps a storage refusal onto the wire: retryable 503
+// with the stable storage code, never a fatal-looking 500.
+func storageOutcome(err error) chunkOutcome {
+	return chunkOutcome{status: http.StatusServiceUnavailable, code: CodeStorage,
+		detail: err.Error(), retryAfter: true}
+}
+
+// isStorageError reports whether err is a commit refused by the
+// durability layer.
+func isStorageError(err error) bool {
+	var se *storageError
+	return errors.As(err, &se)
+}
+
+// storeMax folds a replayed counter value in with max semantics (the
+// same value may arrive via both a snapshot and a record).
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mood/internal/clock"
+	"mood/internal/store"
+	"mood/internal/trace"
+)
+
+// newWALServer boots a Server over a WAL in fsys (FsyncAlways, so every
+// ack is durable), recovers it and serves it over httptest. Close
+// errors are ignored on cleanup: crash tests kill the FS under the
+// server first, which makes the shutdown checkpoint fail by design.
+func newWALServer(t *testing.T, fsys store.FS, fp Protector, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	w, err := store.NewWAL(store.WALOptions{Dir: "wal", FS: fsys, Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(fp, append([]Option{WithStore(w), WithCheckpointInterval(-1)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck // see doc comment
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// TestWALServerCrashRecovery: a server killed without any shutdown path
+// (no drain, no snapshot) rebuilds exactly its acknowledged state from
+// the WAL — stats, dataset, idempotency window and terminal jobs.
+func TestWALServerCrashRecovery(t *testing.T) {
+	disk := store.NewMemFS()
+	ffs := store.NewFaultFS(disk)
+	srvA, hsA := newWALServer(t, ffs, &fakeProtector{})
+	c := NewClient(hsA.URL)
+
+	if _, err := c.Upload(trace.New("alice", sampleRecords(10))); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := idemUpload(t, hsA, "bob", "chunk-1", 4); r.StatusCode != http.StatusOK {
+		t.Fatalf("keyed upload: %d", r.StatusCode)
+	}
+	job, err := c.UploadAsync(trace.New("carol", sampleRecords(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(job.ID, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := srvA.Stats()
+
+	// Crash: every FS operation fails from here on; nothing that was not
+	// already synced can reach the log.
+	ffs.Kill()
+
+	fpB := &fakeProtector{}
+	srvB, hsB := newWALServer(t, disk, fpB)
+	if got := srvB.Stats(); got != want {
+		t.Fatalf("recovered stats = %+v, want %+v", got, want)
+	}
+	cB := NewClient(hsB.URL)
+	d, err := cB.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != 20 {
+		t.Fatalf("recovered dataset has %d records, want 20", d.NumRecords())
+	}
+	for _, tr := range d.Traces {
+		if tr.User == "alice" || tr.User == "bob" || tr.User == "carol" {
+			t.Fatalf("recovered dataset leaks raw user ID %q", tr.User)
+		}
+	}
+
+	// The keyed chunk's retry must replay across the crash, not commit
+	// twice: the idempotency completion rode in the commit's WAL frame.
+	r, _ := idemUpload(t, hsB, "bob", "chunk-1", 4)
+	if r.StatusCode != http.StatusOK || r.Header.Get(IdempotencyReplayHeader) != "true" {
+		t.Fatalf("keyed retry after crash: status %d, replay %q",
+			r.StatusCode, r.Header.Get(IdempotencyReplayHeader))
+	}
+	if fpB.calls != 0 {
+		t.Fatalf("keyed retry re-executed the protector %d times", fpB.calls)
+	}
+	if got := srvB.Stats(); got != want {
+		t.Fatalf("stats after replayed retry = %+v, want %+v", got, want)
+	}
+
+	// The async job's terminal status also survived.
+	j, err := cB.Job(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != JobDone || j.Result == nil || j.Result.Accepted != 6 {
+		t.Fatalf("recovered job = %+v", j)
+	}
+}
+
+// TestFaultInjectionNoAckedLoss is the durability property test: crash
+// the filesystem at EVERY mutating operation (clean failure and torn
+// write), reboot from the log, and require that no acknowledged upload
+// is lost and no keyed retry commits twice.
+func TestFaultInjectionNoAckedLoss(t *testing.T) {
+	const users = 5
+	const recsPer = 4
+
+	keys := make([]string, users)
+	for i := range keys {
+		keys[i] = "chunk-" + string(rune('a'+i))
+	}
+	upload := func(t *testing.T, hs *httptest.Server, i int) *http.Response {
+		r, _ := idemUpload(t, hs, "alice", keys[i], recsPer)
+		return r
+	}
+
+	// Clean run: count the mutating FS operations a full workload makes,
+	// so the fault sweep below can hit every single one.
+	probe := store.NewFaultFS(store.NewMemFS())
+	_, hs := newWALServer(t, probe, &fakeProtector{})
+	for i := 0; i < users; i++ {
+		if r := upload(t, hs, i); r.StatusCode != http.StatusOK {
+			t.Fatalf("clean run upload %d: %d", i, r.StatusCode)
+		}
+	}
+	totalOps := probe.Ops()
+	if totalOps < users {
+		t.Fatalf("suspiciously few mutating ops: %d", totalOps)
+	}
+
+	for failAt := 1; failAt <= totalOps; failAt++ {
+		for _, partial := range []int{-1, 3} {
+			disk := store.NewMemFS()
+			ffs := store.NewFaultFS(disk)
+			ffs.FailAt(failAt, partial)
+			_, hsA := newWALServer(t, ffs, &fakeProtector{})
+
+			acked := make([]bool, users)
+			ackedCount := 0
+			for i := 0; i < users; i++ {
+				switch r := upload(t, hsA, i); r.StatusCode {
+				case http.StatusOK:
+					acked[i] = true
+					ackedCount++
+				case http.StatusServiceUnavailable:
+					// Storage refused the commit: nothing acked, nothing
+					// applied; the retry below must re-execute it.
+				default:
+					t.Fatalf("failAt=%d partial=%d upload %d: unexpected status %d",
+						failAt, partial, i, r.StatusCode)
+				}
+			}
+			ffs.Kill()
+
+			fpB := &fakeProtector{}
+			srvB, hsB := newWALServer(t, disk, fpB)
+			for i := 0; i < users; i++ {
+				r, _ := idemUpload(t, hsB, "alice", keys[i], recsPer)
+				if r.StatusCode != http.StatusOK {
+					t.Fatalf("failAt=%d partial=%d: retry %d got %d",
+						failAt, partial, i, r.StatusCode)
+				}
+				replayed := r.Header.Get(IdempotencyReplayHeader) == "true"
+				if acked[i] && !replayed {
+					t.Fatalf("failAt=%d partial=%d: acked upload %d lost (retry re-executed)",
+						failAt, partial, i)
+				}
+			}
+			// Every acked key replayed (checked above); an unacked key may
+			// ALSO replay — a crash after the frame reached the disk but
+			// before the fsync returned leaves the commit durable even
+			// though the client saw a 503 — so re-executions are at most,
+			// not exactly, the unacked count. The conservation check below
+			// catches any double commit either way.
+			if fpB.calls > users-ackedCount {
+				t.Fatalf("failAt=%d partial=%d: %d re-executions for %d unacked keys",
+					failAt, partial, fpB.calls, users-ackedCount)
+			}
+			st := srvB.Stats()
+			if st.Uploads != users || st.RecordsIn != users*recsPer ||
+				st.RecordsPublished != users*recsPer {
+				t.Fatalf("failAt=%d partial=%d: conservation broken: %+v",
+					failAt, partial, st)
+			}
+			// Fragment seq handles must stay unique through replay.
+			seen := make(map[int64]bool)
+			for s := range srvB.shards {
+				sh := &srvB.shards[s]
+				sh.mu.Lock()
+				for _, f := range sh.published {
+					if f.Seq == 0 || seen[f.Seq] {
+						sh.mu.Unlock()
+						t.Fatalf("failAt=%d partial=%d: duplicate or zero frag seq %d",
+							failAt, partial, f.Seq)
+					}
+					seen[f.Seq] = true
+				}
+				sh.mu.Unlock()
+			}
+		}
+	}
+}
+
+// TestWALQuarantineReplay: a quarantine logged by the re-audit pass is
+// re-applied on recovery — the pulled fragment stays out of the dataset
+// after a crash, with the accounting intact.
+func TestWALQuarantineReplay(t *testing.T) {
+	disk := store.NewMemFS()
+	ffs := store.NewFaultFS(disk)
+	srvA, hsA := newWALServer(t, ffs, &fakeProtector{})
+	c := NewClient(hsA.URL)
+	if _, err := c.Upload(trace.New("alice", sampleRecords(8))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Condemn the fragment the way auditFrags does: durable record plus
+	// in-memory removal under the consistency barrier.
+	sh := srvA.shard("alice")
+	sh.mu.Lock()
+	seq := sh.published[0].Seq
+	sh.mu.Unlock()
+	condemned := map[int64]bool{seq: true}
+	srvA.appendBestEffort(recQuarantine, walQuarantine{Seqs: []int64{seq}})
+	if got := srvA.removeCondemned(sh, condemned); got != 1 {
+		t.Fatalf("removeCondemned = %d, want 1", got)
+	}
+	want := srvA.Stats()
+	if want.QuarantinedTraces != 1 || want.RecordsQuarantined != 8 {
+		t.Fatalf("quarantine accounting before crash: %+v", want)
+	}
+	ffs.Kill()
+
+	srvB, hsB := newWALServer(t, disk, &fakeProtector{})
+	if got := srvB.Stats(); got != want {
+		t.Fatalf("recovered stats = %+v, want %+v", got, want)
+	}
+	d, err := NewClient(hsB.URL).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != 0 {
+		t.Fatalf("quarantined fragment resurfaced: %d records", d.NumRecords())
+	}
+}
+
+// flakyStore fails its first failFirst compactions, then succeeds — the
+// checkpoint loop must retry with backoff and surface the health.
+type flakyStore struct {
+	mu        sync.Mutex
+	failFirst int
+	fails     int
+	compacts  int
+}
+
+func (f *flakyStore) Name() string                          { return "flaky" }
+func (f *flakyStore) Append(...store.Record) error          { return nil }
+func (f *flakyStore) Load() ([]byte, []store.Record, error) { return nil, nil, nil }
+func (f *flakyStore) Mark() (store.Pos, error)              { return 0, nil }
+func (f *flakyStore) Close() error                          { return nil }
+
+func (f *flakyStore) Compact([]byte, store.Pos) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fails < f.failFirst {
+		f.fails++
+		return errors.New("disk full")
+	}
+	f.compacts++
+	return nil
+}
+
+func (f *flakyStore) NeedsCompaction() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.compacts == 0
+}
+
+// TestCheckpointRetrySurfacesHealth drives the checkpoint loop on the
+// virtual clock through two failures into a success, checking the
+// backoff cadence and the health surfaced for /v2/stats at each step.
+func TestCheckpointRetrySurfacesHealth(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	fst := &flakyStore{failFirst: 2}
+	srv, err := New(&fakeProtector{},
+		WithStore(fst), WithClock(clk), WithCheckpointInterval(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	if err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.BlockUntil(1)        // the loop's ticker is registered
+	clk.Advance(time.Minute) // tick: first checkpoint fails
+	clk.BlockUntil(2)        // ...and the 1 s backoff timer is armed
+	p := srv.statsPayload().Persistence
+	if p == nil || p.CheckpointFailures != 1 || p.LastError == "" || p.LastSuccessAgeMillis != -1 {
+		t.Fatalf("health after first failure: %+v", p)
+	}
+	clk.Advance(time.Second)     // retry: second failure
+	clk.BlockUntil(2)            // 2 s backoff armed
+	clk.Advance(2 * time.Second) // retry: success
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ckptTicks.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint tick never settled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p = srv.statsPayload().Persistence
+	if p.Checkpoints != 1 || p.CheckpointFailures != 2 || p.LastError != "" {
+		t.Fatalf("health after recovery: %+v", p)
+	}
+	if p.LastSuccessAgeMillis != 0 {
+		t.Fatalf("fresh success age = %d, want 0", p.LastSuccessAgeMillis)
+	}
+	clk.Advance(5 * time.Second)
+	if p = srv.statsPayload().Persistence; p.LastSuccessAgeMillis != 5000 {
+		t.Fatalf("success age = %d, want 5000", p.LastSuccessAgeMillis)
+	}
+	if fst.compacts != 1 {
+		t.Fatalf("compactions = %d, want 1", fst.compacts)
+	}
+}
+
+// TestStatsPersistenceShape: /v2/stats gains a persistence section only
+// when a store is configured; store-less servers keep the historical
+// byte shape (also pinned by the golden test).
+func TestStatsPersistenceShape(t *testing.T) {
+	_, hs := newTestServer(t)
+	body := getBody(t, hs.URL+"/v2/stats")
+	if strings.Contains(body, "persistence") {
+		t.Fatalf("store-less stats leaked a persistence section: %s", body)
+	}
+
+	_, hsWAL := newWALServer(t, store.NewMemFS(), &fakeProtector{})
+	body = getBody(t, hsWAL.URL+"/v2/stats")
+	if !strings.Contains(body, `"persistence"`) || !strings.Contains(body, `"store":"wal"`) {
+		t.Fatalf("WAL stats missing persistence health: %s", body)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestJSONStoreLegacySnapshot: the json backend loads snapshots written
+// before the durability layer (bare `published` traces, no seqs) and
+// checkpoints them forward into the current format with stable seqs.
+func TestJSONStoreLegacySnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	legacy := persistedState{
+		Published: []trace.Trace{trace.New("anon-7", sampleRecords(5))},
+		Users: map[string]*UserStats{"alice": {
+			Uploads: 1, RecordsIn: 5, RecordsPublished: 5, Pieces: 1,
+		}},
+		Stats:  ServerStats{Uploads: 1, RecordsIn: 5, RecordsPublished: 5, Users: 1},
+		Pseudo: 7,
+	}
+	data, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := New(&fakeProtector{}, WithStore(store.NewJSONFile(path, nil)),
+		WithCheckpointInterval(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Uploads != 1 || st.RecordsPublished != 5 {
+		t.Fatalf("legacy snapshot not recovered: %+v", st)
+	}
+	sh := srv.shard("anon-7")
+	sh.mu.Lock()
+	var seq int64
+	if len(sh.published) == 1 {
+		seq = sh.published[0].Seq
+	}
+	sh.mu.Unlock()
+	if seq == 0 {
+		t.Fatal("legacy fragment did not get a fresh seq handle")
+	}
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rewritten snapshot round-trips with the seq intact.
+	srv2, err := New(&fakeProtector{}, WithStore(store.NewJSONFile(path, nil)),
+		WithCheckpointInterval(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() }) //nolint:errcheck
+	if err := srv2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	sh = srv2.shard("anon-7")
+	sh.mu.Lock()
+	got := int64(0)
+	if len(sh.published) == 1 {
+		got = sh.published[0].Seq
+	}
+	sh.mu.Unlock()
+	if got != seq {
+		t.Fatalf("seq changed across checkpoint: %d -> %d", seq, got)
+	}
+}

@@ -294,6 +294,26 @@ func (st *idemStore) restore(entries []persistedIdem) {
 	st.evictLocked()
 }
 
+// applyRestored installs one completed entry during WAL replay. Unlike
+// restore it patches a single key into the live window: a recovered
+// commit record carries its idempotency completion in the same frame,
+// so replaying the log rebuilds the dedupe window entry by entry.
+// Overwrites are last-write-wins — replay order is log order, so the
+// latest record under a key is the authoritative outcome.
+func (st *idemStore) applyRestored(pe persistedIdem) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, existed := st.entries[pe.Key]
+	e := &idemEntry{fp: pe.FP, jobID: pe.JobID, done: make(chan struct{}),
+		resp: pe.Resp, completed: true, doneAt: st.clk.Now()}
+	close(e.done)
+	st.entries[pe.Key] = e
+	if !existed {
+		st.order = append(st.order, pe.Key)
+	}
+	st.evictLocked()
+}
+
 // outcome snapshots a completed entry's result without blocking.
 func (st *idemStore) outcome(e *idemEntry) (resp UploadResponse, completed bool, err error) {
 	st.mu.Lock()
@@ -392,6 +412,8 @@ func replayDone(resp UploadResponse, err error) chunkOutcome {
 	switch {
 	case errors.Is(err, errUploadShed):
 		return shedOutcome()
+	case isStorageError(err):
+		return storageOutcome(err)
 	case err != nil:
 		return chunkOutcome{status: http.StatusInternalServerError, code: CodeInternal, detail: err.Error()}
 	default:

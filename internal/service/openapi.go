@@ -394,6 +394,11 @@ func openapiSchemas() map[string]any {
 			"uploads": integer, "users": integer, "records_in": integer,
 			"records_published": integer, "records_rejected": integer, "records_quarantined": integer,
 			"published_traces": integer, "quarantined_traces": integer, "retrains": integer,
+			"persistence": ref("PersistenceStats"),
+		}),
+		"PersistenceStats": obj(map[string]any{
+			"store": str, "checkpoints": integer, "checkpoint_failures": integer,
+			"last_error": str, "last_success_age_ms": integer,
 		}),
 		"UserStats": obj(map[string]any{
 			"uploads": integer, "records_in": integer, "records_published": integer,

@@ -4,16 +4,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 
+	"mood/internal/store"
 	"mood/internal/trace"
 )
 
 // persistedFrag is the on-disk form of one published fragment. Owner is
 // the true uploader — required to re-audit the fragment after a retrain
 // (the protection predicate asks whether the attacks link the fragment
-// back to its real user). It never leaves the snapshot file.
+// back to its real user). It never leaves the snapshot file. Seq is the
+// fragment's durable audit handle: keeping it stable across restarts
+// lets WAL quarantine records name fragments a snapshot carried, and
+// keeps the dataset ETag honest across a reboot.
 type persistedFrag struct {
+	Seq   int64       `json:"seq,omitempty"`
 	Trace trace.Trace `json:"trace"`
 	Owner string      `json:"owner"`
 }
@@ -22,7 +26,9 @@ type persistedFrag struct {
 // on save and redistributed on load. Decoding stays backward compatible:
 // snapshots written before the dynamic-protection subsystem carry
 // `published` (bare traces, no owners) instead of `fragments`, and no
-// history or idempotency sections.
+// history or idempotency sections; snapshots written before the
+// durability layer carry no fragment seqs (reissued on load) and no
+// frag_seq watermark.
 type persistedState struct {
 	// Published is the legacy fragment list (read-only; written by
 	// snapshots predating owner tracking).
@@ -43,16 +49,15 @@ type persistedState struct {
 	// cannot vouch for them.
 	Jobs     []JobStatus `json:"jobs,omitempty"`
 	Retrains int64       `json:"retrains,omitempty"`
+	// FragSeq is the sequence watermark at capture time, so a reboot
+	// never reissues a seq a WAL record might still name.
+	FragSeq int64 `json:"frag_seq,omitempty"`
 }
 
-// SaveState writes the server's published dataset and accounting to
-// path atomically (write to a temp file, then rename). Operators call
-// it on shutdown or from a periodic snapshot loop. Concurrent calls
-// are serialised so a slow earlier save cannot rename an older
-// snapshot over a newer one.
-func (s *Server) SaveState(path string) error {
-	s.saveMu.Lock()
-	defer s.saveMu.Unlock()
+// captureState serialises the server's state as one snapshot. It is the
+// shared capture for SaveState and the store checkpoint; Checkpoint
+// calls it under the write side of the consistency barrier.
+func (s *Server) captureState() ([]byte, error) {
 	// Capture order is monotone with the pipeline's completion order:
 	// jobs first, then the idempotency table, then the shards. A job is
 	// marked terminal only after its idempotency entry completed, and
@@ -65,13 +70,15 @@ func (s *Server) SaveState(path string) error {
 	// (silent loss behind an OK). This order's only tear is a commit
 	// without its entry, which makes the retry re-execute: a possible
 	// duplicate, which is the pipeline's documented at-least-once
-	// behaviour for unkeyed retries anyway.
+	// behaviour for unkeyed retries anyway. (Under the storeGate write
+	// lock the capture is a single point in time and even that tear
+	// cannot happen.)
 	jobs := s.jobs.terminal()
 	idem := s.idem.snapshot()
 	published, history, users, stats := s.fullSnapshot()
 	frags := make([]persistedFrag, len(published))
 	for i, f := range published {
-		frags[i] = persistedFrag{Trace: f.Trace, Owner: f.Owner}
+		frags[i] = persistedFrag{Seq: f.Seq, Trace: f.Trace, Owner: f.Owner}
 	}
 	state := persistedState{
 		Fragments:   frags,
@@ -82,30 +89,66 @@ func (s *Server) SaveState(path string) error {
 		Idempotency: idem,
 		Jobs:        jobs,
 		Retrains:    s.retrains.Load(),
+		FragSeq:     s.fragSeq.Load(),
 	}
-
 	data, err := json.Marshal(state)
 	if err != nil {
-		return fmt.Errorf("service: encoding state: %w", err)
+		return nil, fmt.Errorf("service: encoding state: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".mood-state-*")
+	return data, nil
+}
+
+// SaveState writes the server's published dataset and accounting to
+// path atomically (temp file, fsync, rename, directory sync). Operators
+// call it on shutdown or from a periodic snapshot loop; servers with a
+// configured Store checkpoint through it instead (see durable.go).
+// Concurrent calls are serialised so a slow earlier save cannot rename
+// an older snapshot over a newer one.
+func (s *Server) SaveState(path string) error {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	data, err := s.captureState()
 	if err != nil {
+		return err
+	}
+	if err := store.AtomicWriteFile(nil, path, data); err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("service: writing state: %w", err)
+	return nil
+}
+
+// applySnapshot replaces the server's state with a decoded snapshot.
+func (s *Server) applySnapshot(data []byte) error {
+	var state persistedState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return fmt.Errorf("service: decoding state: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("service: closing state: %w", err)
+	if state.Users == nil {
+		state.Users = map[string]*UserStats{}
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("service: committing state: %w", err)
+	frags := make([]publishedFrag, 0, len(state.Fragments)+len(state.Published))
+	maxSeq := state.FragSeq
+	for _, f := range state.Fragments {
+		frags = append(frags, publishedFrag{Seq: f.Seq, Trace: f.Trace, Owner: f.Owner})
+		if f.Seq > maxSeq {
+			maxSeq = f.Seq
+		}
 	}
+	for _, tr := range state.Published {
+		// Legacy snapshot: the owner was never written, so these
+		// fragments stay published but cannot be re-audited.
+		frags = append(frags, publishedFrag{Trace: tr})
+	}
+
+	// The watermark must be in place before resetShards reissues seqs
+	// for legacy fragments, or a fresh seq could collide with a durable
+	// one a WAL record still names.
+	s.fragSeq.Store(maxSeq)
+	s.resetShards(frags, state.History, state.Users)
+	s.idem.restore(state.Idempotency)
+	s.jobs.restore(state.Jobs)
+	s.pseudo.Store(int64(state.Pseudo))
+	s.retrains.Store(state.Retrains)
 	return nil
 }
 
@@ -116,27 +159,5 @@ func (s *Server) LoadState(path string) error {
 	if err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
-	var state persistedState
-	if err := json.Unmarshal(data, &state); err != nil {
-		return fmt.Errorf("service: decoding state: %w", err)
-	}
-	if state.Users == nil {
-		state.Users = map[string]*UserStats{}
-	}
-	frags := make([]publishedFrag, 0, len(state.Fragments)+len(state.Published))
-	for _, f := range state.Fragments {
-		frags = append(frags, publishedFrag{Trace: f.Trace, Owner: f.Owner})
-	}
-	for _, tr := range state.Published {
-		// Legacy snapshot: the owner was never written, so these
-		// fragments stay published but cannot be re-audited.
-		frags = append(frags, publishedFrag{Trace: tr})
-	}
-
-	s.resetShards(frags, state.History, state.Users)
-	s.idem.restore(state.Idempotency)
-	s.jobs.restore(state.Jobs)
-	s.pseudo.Store(int64(state.Pseudo))
-	s.retrains.Store(state.Retrains)
-	return nil
+	return s.applySnapshot(data)
 }

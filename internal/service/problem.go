@@ -60,6 +60,7 @@ const (
 	CodeInternal          = "internal_error"
 	CodeRetrainInProgress = "retrain_in_progress"
 	CodeRetrainMissing    = "retrain_unconfigured"
+	CodeStorage           = "storage_unavailable"
 )
 
 // newProblem assembles the RFC 7807 document for one occurrence.

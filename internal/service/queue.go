@@ -288,106 +288,48 @@ func (js *jobStore) remove(id string) {
 // ---------------------------------------------------------------------------
 // Worker body and job endpoint.
 
-// runJob executes one upload end to end: protect, then commit to the
-// sharded state. A panicking protector fails the one job, not the
-// process.
+// runJob executes one upload end to end: protect, make the commit
+// durable, apply it, deliver the outcome. A panicking protector fails
+// the one job, not the process. If the engine was hot-swapped while
+// this upload was being protected, the freshly committed fragments are
+// immediately re-audited against the new attacks (see audit.go): the
+// retrain pass cannot have seen them, and they were admitted by the
+// stale verifier.
 func (s *Server) runJob(j *uploadJob) {
 	if j.id != "" {
 		s.jobs.setRunning(j.id)
 	}
-	resp, err := s.protectAndCommit(j.trace)
-	if j.idem != nil {
-		s.idem.complete(j.trace.User, j.idemKey, j.idem, resp, err)
-	}
-	switch {
-	case j.done != nil:
-		j.done <- uploadOutcome{resp: resp, err: err}
-	case err != nil:
-		s.jobs.setFailed(j.id, err)
-	default:
-		s.jobs.setDone(j.id, resp)
-	}
-}
-
-// protectAndCommit runs the engine and, on success, folds the result
-// into the uploader's shard. If the engine was hot-swapped while this
-// upload was being protected, the freshly committed fragments are
-// immediately re-audited against the new attacks (see audit.go): the
-// retrain pass cannot have seen them, and they were admitted by the
-// stale verifier.
-func (s *Server) protectAndCommit(t trace.Trace) (UploadResponse, error) {
 	eng := s.currentEngine()
-	res, err := s.protect(eng.p, t)
+	res, err := s.protect(eng.p, j.trace)
 	if err != nil {
-		return UploadResponse{}, err
+		s.finishJob(j, UploadResponse{}, err)
+		return
 	}
-
-	resp := UploadResponse{
-		Accepted: res.ProtectedRecords(),
-		Rejected: res.LostRecords,
+	resp, committed, err := s.commitDurable(j, res)
+	if err != nil {
+		s.finishJob(j, UploadResponse{}, err)
+		return
 	}
-	var committed []int64
-	sh := s.shard(t.User)
-	s.commit(sh, t, res, &resp, &committed)
-
 	if cur := s.currentEngine(); cur.epoch != eng.epoch && cur.auditor != nil && len(committed) > 0 {
 		// A retrain pass swapped the engine after this upload loaded its
 		// protector: the re-audit cannot have covered these fragments
 		// (they were not committed yet), so judge them here against the
 		// current attacks. Removal by seq is idempotent, so overlapping
 		// with a concurrent audit pass is harmless.
-		s.auditShardFrags(sh, cur.auditor, committed)
+		s.auditShardFrags(s.shard(j.trace.User), cur.auditor, committed)
 	}
-	return resp, nil
+	s.finishJob(j, resp, nil)
 }
 
-// commit folds a protection result into the uploader's shard under the
-// shard lock (deferred unlock so a panic cannot leak it).
-func (s *Server) commit(sh *stateShard, t trace.Trace, res core.Result, resp *UploadResponse, committed *[]int64) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	us, ok := sh.users[t.User]
-	if !ok {
-		us = &UserStats{}
-		sh.users[t.User] = us
-		sh.stats.Users++
-	}
-	us.Uploads++
-	us.RecordsIn += t.Len()
-	us.RecordsPublished += res.ProtectedRecords()
-	us.RecordsRejected += res.LostRecords
-	us.Pieces += len(res.Pieces)
-	sh.stats.Uploads++
-	sh.stats.RecordsIn += t.Len()
-	sh.stats.RecordsPublished += res.ProtectedRecords()
-	sh.stats.RecordsRejected += res.LostRecords
-	if s.opts.Retrainer != nil && s.opts.HistoryCap > 0 {
-		// The raw chunk joins the user's bounded history: it is what a
-		// real adversary could have collected by now, so it is what the
-		// next retrain pass must train against (§6 dynamic protection).
-		// The generation bump lets the periodic loop skip ticks where
-		// nothing new arrived.
-		sh.recordHistory(t.User, t.Records, s.opts.HistoryCap)
-		s.histGen.Add(1)
-	}
-	for _, p := range res.Pieces {
-		pub := p.Trace
-		if pub.User == t.User {
-			// Whole-trace pieces keep the engine-side identity; the
-			// middleware never publishes a raw uploader ID, so relabel
-			// with a server-scoped pseudonym.
-			pub = pub.WithUser(fmt.Sprintf("pub-%06d", s.pseudo.Add(1)))
-		}
-		seq := s.fragSeq.Add(1)
-		sh.published = append(sh.published, publishedFrag{
-			Seq:   seq,
-			Trace: pub,
-			Owner: t.User,
-		})
-		*committed = append(*committed, seq)
-		resp.Pieces++
-		resp.Mechanisms = append(resp.Mechanisms, p.Mechanism)
-	}
+// protectAndCommit pushes one bare trace through the worker body
+// synchronously — no queue, no job handle, no idempotency entry. The
+// retrain and dynamic-experiment tests use it to publish fragments
+// without standing up the HTTP pipeline.
+func (s *Server) protectAndCommit(t trace.Trace) (UploadResponse, error) {
+	j := &uploadJob{trace: t, done: make(chan uploadOutcome, 1)}
+	s.runJob(j)
+	out := <-j.done
+	return out.resp, out.err
 }
 
 // protect calls the engine with the recover scoped to just that call:
@@ -511,6 +453,22 @@ func (js *jobStore) terminal() []JobStatus {
 		}
 	}
 	return out
+}
+
+// applyTerminal replays one terminal job record from the WAL:
+// insert-or-overwrite, so a record newer than a snapshot entry wins.
+func (js *jobStore) applyTerminal(j JobStatus) {
+	if j.ID == "" || (j.State != JobDone && j.State != JobFailed) {
+		return
+	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if _, ok := js.jobs[j.ID]; !ok {
+		js.order = append(js.order, j.ID)
+	}
+	cp := j
+	js.jobs[j.ID] = &cp
+	js.evictLocked()
 }
 
 // restore replaces the store with persisted terminal jobs (insertion

@@ -122,6 +122,10 @@ func (s *Server) Retrain() (RetrainReport, error) {
 		report.Audited, report.Quarantined = s.auditPublished(auditor)
 	}
 	s.retrains.Add(1)
+	// Epoch records are best-effort: the count is also carried by every
+	// snapshot, so a lost record costs at most one epoch of drift until
+	// the next checkpoint.
+	s.appendBestEffort(recRetrainEpoch, walRetrain{Retrains: s.retrains.Load()})
 	s.lastTrained.Store(gen)
 	report.DurationMillis = s.clk.Since(began).Milliseconds()
 	return report, nil

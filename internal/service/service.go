@@ -58,6 +58,7 @@ import (
 
 	"mood/internal/clock"
 	"mood/internal/core"
+	"mood/internal/store"
 	"mood/internal/trace"
 )
 
@@ -113,6 +114,15 @@ type Options struct {
 	// negative disables history accumulation. Only consulted when a
 	// Retrainer is configured.
 	HistoryCap int
+	// Store, when non-nil, is the durability backend: commit records
+	// are appended at upload time (acked only once durable), replayed
+	// by Recover on boot, and compacted into snapshots in the
+	// background (see durable.go and internal/store).
+	Store store.Store
+	// CheckpointInterval paces the background compaction loop started
+	// by Recover. 0 defaults to one minute when a Store is configured;
+	// negative disables the loop (Checkpoint still works on demand).
+	CheckpointInterval time.Duration
 }
 
 // Option mutates Options.
@@ -161,6 +171,16 @@ func WithRetrainer(rt Retrainer, interval time.Duration) Option {
 // WithHistoryCap bounds the per-user raw history, in records.
 func WithHistoryCap(n int) Option { return func(o *Options) { o.HistoryCap = n } }
 
+// WithStore installs the durability backend. Call Recover after New to
+// replay it before serving traffic.
+func WithStore(st store.Store) Option { return func(o *Options) { o.Store = st } }
+
+// WithCheckpointInterval paces the background compaction loop
+// (negative disables it).
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(o *Options) { o.CheckpointInterval = d }
+}
+
 // DefaultRequestTimeout is what a zero Options.RequestTimeout means;
 // exported so operators sizing http.Server write timeouts around the
 // handler timeout can mirror the resolution.
@@ -184,6 +204,9 @@ func (o *Options) fill() {
 	}
 	if o.HistoryCap == 0 {
 		o.HistoryCap = DefaultHistoryCap
+	}
+	if o.Store != nil && o.CheckpointInterval == 0 {
+		o.CheckpointInterval = time.Minute
 	}
 	if o.Clock == nil {
 		o.Clock = clock.System()
@@ -234,8 +257,24 @@ type Server struct {
 	// cannot be asserted deterministically.
 	retrainTicks atomic.Int64
 
-	saveMu sync.Mutex // serialises SaveState snapshots
+	saveMu sync.Mutex // serialises SaveState/Checkpoint snapshots
 	closed atomic.Bool
+
+	// store is the durability backend (nil = in-memory only, the
+	// historical behaviour). storeGate is the consistency barrier:
+	// commits append+apply under the read side, Checkpoint fences and
+	// captures under the write side (see durable.go). Lock order is
+	// storeGate before shard mutexes.
+	store     store.Store
+	storeGate sync.RWMutex
+	recovered atomic.Bool
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
+	// ckptTicks counts fully settled checkpoint-loop ticks — the manual
+	// clock rendezvous, like retrainTicks.
+	ckptTicks atomic.Int64
+	persistMu sync.Mutex
+	persist   persistState
 }
 
 // engineState is the atomically-swapped protection engine: the
@@ -331,6 +370,7 @@ func New(p Protector, opts ...Option) (*Server, error) {
 		jobs:    newJobStore(),
 		idem:    newIdemStore(o.IdempotencyWindow, o.IdempotencyTTL, o.Clock),
 		metrics: newRequestMetrics(o.Clock),
+		store:   o.Store,
 	}
 	s.engine.Store(&engineState{p: p})
 	for i := range s.shards {
@@ -347,16 +387,36 @@ func New(p Protector, opts ...Option) (*Server, error) {
 }
 
 // Close stops the upload pipeline: intake ends, queued jobs are drained
-// and the workers exit. Safe to call more than once.
+// and the workers exit. When a store is configured, a final checkpoint
+// compacts everything the drained pipeline committed, then the store is
+// released. Safe to call more than once.
 func (s *Server) Close() error {
-	if s.closed.CompareAndSwap(false, true) {
-		if s.retrainStop != nil {
-			close(s.retrainStop)
-			<-s.retrainDone
-		}
-		s.pool.close()
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
 	}
-	return nil
+	if s.retrainStop != nil {
+		close(s.retrainStop)
+		<-s.retrainDone
+	}
+	s.pool.close()
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		<-s.ckptDone
+	}
+	var err error
+	if s.store != nil {
+		if s.recovered.Load() {
+			// Every commit is already durable in the log; the final
+			// checkpoint just makes the next boot's replay cheap. Its
+			// error still surfaces — a failing disk at shutdown is worth
+			// knowing about.
+			err = s.Checkpoint()
+		}
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Handler returns the HTTP handler tree wrapped in the middleware
@@ -490,9 +550,15 @@ func (s *Server) syncChunk(ctx context.Context, t trace.Trace, key string, idem 
 	}
 }
 
-// syncDone maps a completed job onto the wire outcome.
+// syncDone maps a completed job onto the wire outcome. Storage
+// refusals are retryable 503s, not fatal-looking 500s: nothing was
+// committed and nothing acked, so the client's retry is safe and is the
+// right move.
 func syncDone(resp UploadResponse, err error) chunkOutcome {
-	if err != nil {
+	switch {
+	case isStorageError(err):
+		return storageOutcome(err)
+	case err != nil:
 		return chunkOutcome{status: http.StatusInternalServerError, code: CodeInternal, detail: err.Error()}
 	}
 	return chunkOutcome{status: http.StatusOK, resp: &resp}
@@ -639,7 +705,7 @@ func validateUserID(id string) error {
 // writeError renders errors in the dialect of the matched route).
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.statsSnapshot())
+	writeJSON(w, http.StatusOK, s.statsPayload())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

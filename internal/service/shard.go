@@ -164,8 +164,8 @@ func (s *Server) fullSnapshot() (published []publishedFrag, history map[string][
 // resetShards replaces the whole sharded state with the given snapshot
 // (used by LoadState). Per-shard partial stats are rederived from the
 // user accounting, which sums exactly to the persisted global stats.
-// Fragment sequence numbers are reissued: they are process-local audit
-// handles, not durable identity.
+// Fragment sequence numbers persist (WAL quarantine records name them
+// across restarts); only legacy seq-less fragments get fresh handles.
 func (s *Server) resetShards(published []publishedFrag, history map[string][]trace.Record, users map[string]*UserStats) {
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -202,7 +202,12 @@ func (s *Server) resetShards(published []publishedFrag, history map[string][]tra
 		}
 		sh := s.shard(key)
 		sh.mu.Lock()
-		f.Seq = s.fragSeq.Add(1)
+		// Snapshots written by the durability layer carry stable seqs;
+		// only legacy fragments (seq 0) get a fresh handle, above the
+		// restored watermark so it cannot collide with a durable one.
+		if f.Seq == 0 {
+			f.Seq = s.fragSeq.Add(1)
+		}
 		sh.published = append(sh.published, f)
 		sh.mu.Unlock()
 	}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"mood/internal/trace"
+)
+
+// Binary codec for the upload-commit WAL record.
+//
+// The commit record rides on the hottest path in the server — one per
+// acknowledged upload, carrying every published fragment's records —
+// and JSON float formatting of coordinates dominated its CPU cost
+// (shortest-round-trip float printing is ~30× a fixed 8-byte store).
+// The other record types (idempotency, job status, quarantine, retrain)
+// are tiny or rare and stay JSON.
+//
+// Layout (little-endian, uvarint/varint from encoding/binary):
+//
+//	u8 version (currently 1)
+//	str user | uvarint recordsIn, accepted, rejected | uvarint pseudo
+//	uvarint nFrags
+//	  frag: varint seq | str owner | str user | records
+//	uvarint nHistory | history records
+//	records = uvarint n, then per record: f64 lat | f64 lon | varint ts
+//	str     = uvarint length, then the bytes
+//
+// Decode is defensive: CRC framing upstream catches accidental
+// corruption, but every length here is still bounded by the remaining
+// payload before allocation, so adversarial bytes cannot balloon memory
+// or panic.
+
+const walCommitVersion = 1
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendRecords(b []byte, recs []trace.Record) []byte {
+	b = binary.AppendUvarint(b, uint64(len(recs)))
+	for _, r := range recs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Lat))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Lon))
+		b = binary.AppendVarint(b, r.TS)
+	}
+	return b
+}
+
+// encodeUploadCommit serialises one commit record.
+func encodeUploadCommit(c walUploadCommit) []byte {
+	size := 64 + len(c.User)
+	for _, f := range c.Frags {
+		size += 32 + len(f.Owner) + len(f.Trace.User) + 17*len(f.Trace.Records)
+	}
+	size += 17 * len(c.History)
+	b := make([]byte, 0, size)
+	b = append(b, walCommitVersion)
+	b = appendString(b, c.User)
+	b = binary.AppendUvarint(b, uint64(c.RecordsIn))
+	b = binary.AppendUvarint(b, uint64(c.Accepted))
+	b = binary.AppendUvarint(b, uint64(c.Rejected))
+	b = binary.AppendUvarint(b, uint64(c.Pseudo))
+	b = binary.AppendUvarint(b, uint64(len(c.Frags)))
+	for _, f := range c.Frags {
+		b = binary.AppendVarint(b, f.Seq)
+		b = appendString(b, f.Owner)
+		b = appendString(b, f.Trace.User)
+		b = appendRecords(b, f.Trace.Records)
+	}
+	b = appendRecords(b, c.History)
+	return b
+}
+
+var errWALCommitCorrupt = errors.New("service: corrupt upload-commit record")
+
+// walReader is a bounds-checked cursor over a commit payload.
+type walReader struct {
+	b   []byte
+	err error
+}
+
+func (r *walReader) fail() {
+	if r.err == nil {
+		r.err = errWALCommitCorrupt
+	}
+}
+
+func (r *walReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *walReader) varint() int64 {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *walReader) string() string {
+	n := r.uvarint()
+	if r.err != nil || n > uint64(len(r.b)) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *walReader) float64() float64 {
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *walReader) records() []trace.Record {
+	n := r.uvarint()
+	// Each record is at least 17 bytes (two fixed floats + 1-byte
+	// varint), so a count beyond remaining/17 is corrupt — reject before
+	// allocating.
+	if r.err != nil || n > uint64(len(r.b))/17 {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{Lat: r.float64(), Lon: r.float64(), TS: r.varint()}
+	}
+	return recs
+}
+
+// decodeUploadCommit parses one commit record.
+func decodeUploadCommit(payload []byte) (walUploadCommit, error) {
+	var c walUploadCommit
+	if len(payload) == 0 {
+		return c, errWALCommitCorrupt
+	}
+	if payload[0] != walCommitVersion {
+		return c, fmt.Errorf("service: upload-commit record version %d unsupported", payload[0])
+	}
+	r := &walReader{b: payload[1:]}
+	c.User = r.string()
+	c.RecordsIn = int(r.uvarint())
+	c.Accepted = int(r.uvarint())
+	c.Rejected = int(r.uvarint())
+	c.Pseudo = int64(r.uvarint())
+	nFrags := r.uvarint()
+	// A fragment is at least 5 bytes; bound before allocating.
+	if r.err != nil || nFrags > uint64(len(r.b))/5 {
+		return c, errWALCommitCorrupt
+	}
+	for i := uint64(0); i < nFrags; i++ {
+		var f persistedFrag
+		f.Seq = r.varint()
+		f.Owner = r.string()
+		f.Trace.User = r.string()
+		f.Trace.Records = r.records()
+		if r.err != nil {
+			return c, r.err
+		}
+		c.Frags = append(c.Frags, f)
+	}
+	c.History = r.records()
+	if r.err != nil {
+		return c, r.err
+	}
+	if len(r.b) != 0 {
+		return c, errWALCommitCorrupt
+	}
+	return c, nil
+}

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error every FS operation returns once a FaultFS
+// has fired or been killed: from the store's point of view the process
+// (or its disk) died mid-write.
+var ErrInjected = errors.New("store: injected fault: process died")
+
+// FaultFS wraps an FS and simulates a crash at a chosen point. Every
+// mutating operation (writes, syncs, renames, removes, truncates, file
+// creation, directory syncs) increments an operation counter; FailAt
+// arms the wrapper to "die" exactly at the Nth such operation —
+// optionally after a short write, leaving a torn frame on the inner FS
+// — and Kill dies immediately. After death every operation, reads
+// included, fails with ErrInjected: the store must be rebuilt over a
+// fresh wrapper to model the reboot.
+//
+// The crash-safety property test drives this: record the mutating-op
+// count of a clean run, then re-run the same scripted workload once per
+// op index with the fault armed there, recover from the surviving
+// bytes, and assert no acked upload was lost (see the service tier's
+// durability tests).
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	wg      sync.WaitGroup // in-flight inner operations
+	ops     int
+	failOp  int // 0 = disarmed; fire when ops reaches failOp
+	partial int // bytes to let a firing Write land; -1 = no side effect
+	killed  bool
+}
+
+// NewFaultFS wraps inner with a disarmed fault layer.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// FailAt arms the fault: the op-th mutating operation (1-based) fails
+// and kills the filesystem. partialBytes < 0 fails without any side
+// effect (the op is entirely lost, as if power died first); for writes,
+// partialBytes >= 0 lets that many bytes reach the inner FS before the
+// failure (a torn write). For non-write operations a non-negative
+// partialBytes lets the operation complete before the failure (the op
+// landed but its acknowledgement was lost).
+func (f *FaultFS) FailAt(op, partialBytes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failOp = op
+	f.partial = partialBytes
+}
+
+// Kill makes every subsequent operation fail, then waits for in-flight
+// inner operations to finish — after Kill returns, nothing is still
+// touching the inner FS, so a replacement store can safely recover from
+// it (no zombie write can race the reboot's truncate).
+func (f *FaultFS) Kill() {
+	f.mu.Lock()
+	f.killed = true
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// Killed reports whether the fault has fired (or Kill was called).
+func (f *FaultFS) Killed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.killed
+}
+
+// Ops returns how many mutating operations have been counted; a clean
+// run's total is the fault-point schedule for the property test.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// begin gates one operation. mutating operations advance the counter
+// and may fire the armed fault: fire=true means this operation must
+// fail (with up to partial bytes of side effect). When err is nil and
+// fire is false the caller must run the inner op and then call f.done.
+func (f *FaultFS) begin(mutating bool) (fire bool, partial int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed {
+		return false, 0, ErrInjected
+	}
+	if mutating {
+		f.ops++
+		if f.failOp > 0 && f.ops == f.failOp {
+			f.killed = true
+			return true, f.partial, nil
+		}
+	}
+	f.wg.Add(1)
+	return false, 0, nil
+}
+
+func (f *FaultFS) done() { f.wg.Done() }
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	fire, partial, err := f.begin(flag&os.O_CREATE != 0)
+	if err != nil {
+		return nil, err
+	}
+	if fire {
+		if partial >= 0 {
+			// The create lands, the acknowledgement is lost.
+			if h, oerr := f.inner.OpenFile(name, flag, perm); oerr == nil {
+				h.Close()
+			}
+		}
+		return nil, ErrInjected
+	}
+	defer f.done()
+	h, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, inner: h}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	_, _, err := f.begin(false)
+	if err != nil {
+		return nil, err
+	}
+	defer f.done()
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	_, _, err := f.begin(false)
+	if err != nil {
+		return nil, err
+	}
+	defer f.done()
+	return f.inner.ReadDir(dir)
+}
+
+// mutate runs one non-write mutating op under the fault gate.
+func (f *FaultFS) mutate(op func() error) error {
+	fire, partial, err := f.begin(true)
+	if err != nil {
+		return err
+	}
+	if fire {
+		if partial >= 0 {
+			op() //nolint:errcheck // the op landed; its result died with the process
+		}
+		return ErrInjected
+	}
+	defer f.done()
+	return op()
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	return f.mutate(func() error { return f.inner.Rename(oldname, newname) })
+}
+
+func (f *FaultFS) Remove(name string) error {
+	return f.mutate(func() error { return f.inner.Remove(name) })
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	return f.mutate(func() error { return f.inner.Truncate(name, size) })
+}
+
+func (f *FaultFS) MkdirAll(dir string, perm fs.FileMode) error {
+	_, _, err := f.begin(false)
+	if err != nil {
+		return err
+	}
+	defer f.done()
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	return f.mutate(func() error { return f.inner.SyncDir(dir) })
+}
+
+type faultHandle struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	fire, partial, err := h.fs.begin(true)
+	if err != nil {
+		return 0, err
+	}
+	if fire {
+		n := 0
+		if partial > 0 {
+			if partial > len(p) {
+				partial = len(p)
+			}
+			n, _ = h.inner.Write(p[:partial])
+		}
+		return n, ErrInjected
+	}
+	defer h.fs.done()
+	return h.inner.Write(p)
+}
+
+func (h *faultHandle) Sync() error {
+	return h.fs.mutate(h.inner.Sync)
+}
+
+func (h *faultHandle) Close() error {
+	// Closing is not a durability event; it always reaches the inner
+	// handle so file descriptors are not leaked across a simulated crash.
+	return h.inner.Close()
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the durability layer writes through.
+// Every byte the store persists flows through one of these methods, so
+// a single injectable implementation can fail, short-write or kill the
+// "disk" at any point (see FaultFS) and the crash-safety claims become
+// testable instead of aspirational. Production uses OS(); tests use
+// MemFS (hermetic) and FaultFS (fault injection over either).
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the flag subset
+	// the store uses: O_WRONLY combined with O_CREATE, O_APPEND, O_TRUNC.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile returns the whole file (fs.ErrNotExist when absent).
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the base names of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts a file to size bytes (recovery chops torn tails).
+	Truncate(name string, size int64) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory so renames and creates inside it are
+	// durable, not just ordered.
+	SyncDir(dir string) error
+}
+
+// File is an open, writable store file.
+type File interface {
+	io.Writer
+	// Sync flushes written bytes to stable storage; a record is durable
+	// only once its segment's Sync returned.
+	Sync() error
+	Close() error
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

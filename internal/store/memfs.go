@@ -1,0 +1,141 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// MemFS is a hermetic in-memory FS for tests: no temp dirs, no disk
+// state leaking between cases, and a stable substrate for FaultFS to
+// inject crashes over (the "disk" contents after a simulated crash are
+// exactly the bytes the store managed to write).
+//
+// Semantics cover what the store actually does — append-mode segment
+// writes, create+truncate temp files, rename, remove, truncate — with
+// one deliberate POSIX fidelity point: handles reference the file's
+// buffer directly, so a file removed (or renamed over) while a handle
+// is open becomes an orphan. Writes through the stale handle succeed
+// but land nowhere a later open can see, exactly like an unlinked inode
+// — without this, a zombie writer in a crash drill could resurrect
+// deleted state and mask a real recovery bug.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: make(map[string]bool)}
+}
+
+type memHandle struct{ f *memFile }
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error  { return nil }
+func (h *memHandle) Close() error { return nil }
+
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		f = &memFile{}
+		m.files[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.mu.Lock()
+		f.data = nil
+		f.mu.Unlock()
+	}
+	return &memHandle{f: f}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	f, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == filepath.Clean(dir) {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	f, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size < 0 || size > int64(len(f.data)) {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrInvalid}
+	}
+	f.data = append([]byte(nil), f.data[:size]...)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(dir string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+func (m *MemFS) SyncDir(dir string) error { return nil }
