@@ -166,14 +166,14 @@ func newSelfHost(cfg loadgen.Config, w loadgen.Workload, engine string) (*selfHo
 		}, filepath.Join(dir, "state.json"))
 	}
 	if err != nil {
-		os.RemoveAll(dir)
+		os.RemoveAll(dir) //mood:allow persistio -- bench scratch dir teardown: the self-hosted server's state dir is ephemeral, not server state
 		return nil, err
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		host.Close()
-		os.RemoveAll(dir)
+		os.RemoveAll(dir) //mood:allow persistio -- bench scratch dir teardown: the self-hosted server's state dir is ephemeral, not server state
 		return nil, err
 	}
 	h := &selfHost{
@@ -197,7 +197,7 @@ func (h *selfHost) restart() error { return h.reboot() }
 func (h *selfHost) close() {
 	h.hs.Close()
 	h.host.Close()
-	os.RemoveAll(h.stateDir)
+	os.RemoveAll(h.stateDir) //mood:allow persistio -- bench scratch dir teardown: the self-hosted server's state dir is ephemeral, not server state
 }
 
 // buildEngine assembles the self-hosted protection engine.

@@ -17,8 +17,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	"mood/internal/lint"
 	"mood/internal/lint/analysis"
@@ -33,23 +35,46 @@ func main() {
 	if code := vetdriver.Main(modulePath, lint.Suite(), args, os.Stdout, os.Stderr); code >= 0 {
 		os.Exit(code)
 	}
+	asJSON := false
+	if len(args) > 0 && args[0] == "-json" {
+		asJSON = true
+		args = args[1:]
+	}
 	if len(args) == 0 || args[0] == "-h" || args[0] == "-help" || args[0] == "--help" {
 		usage()
 		os.Exit(2)
 	}
-	os.Exit(standalone(args))
+	os.Exit(standalone(args, asJSON))
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: moodvet <packages>   (e.g. moodvet ./...)")
+	fmt.Fprintln(os.Stderr, "usage: moodvet [-json] <packages>   (e.g. moodvet ./...)")
 	fmt.Fprintln(os.Stderr, "   or: go vet -vettool=/path/to/moodvet <packages>")
-	fmt.Fprintln(os.Stderr, "\nanalyzers:")
+	fmt.Fprintln(os.Stderr, "\n-json writes the findings to stdout as a deterministic JSON report")
+	fmt.Fprintln(os.Stderr, "(sorted by file/line/column/analyzer) for CI artifacts.\n\nanalyzers:")
 	for _, a := range lint.Suite() {
 		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 	}
 }
 
-func standalone(patterns []string) int {
+// jsonFinding is one diagnostic in the -json report.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document: the analyzer roster pins what ran,
+// the findings say what it found. Both are sorted so the bytes are a
+// deterministic function of the tree.
+type jsonReport struct {
+	Analyzers []string      `json:"analyzers"`
+	Findings  []jsonFinding `json:"findings"`
+}
+
+func standalone(patterns []string, asJSON bool) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "moodvet:", err)
@@ -65,7 +90,7 @@ func standalone(patterns []string) int {
 	// their base package, so the same finding can surface twice; report
 	// each position/message once.
 	seen := map[string]bool{}
-	n := 0
+	var all []analysis.Diagnostic
 	for _, t := range targets {
 		diags, err := analysis.Run(t, suite)
 		if err != nil {
@@ -78,12 +103,44 @@ func standalone(patterns []string) int {
 				continue
 			}
 			seen[line] = true
-			fmt.Fprintln(os.Stderr, line)
-			n++
+			all = append(all, d)
 		}
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "moodvet: %d diagnostic(s)\n", n)
+	sort.Slice(all, func(i, j int) bool { return all[i].String() < all[j].String() })
+	if asJSON {
+		return emitJSON(suite, all)
+	}
+	for _, d := range all {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "moodvet: %d diagnostic(s)\n", len(all))
+		return 2
+	}
+	return 0
+}
+
+// emitJSON writes the report to stdout. Same exit contract as the text
+// mode: 0 clean, 2 with findings.
+func emitJSON(suite []*analysis.Analyzer, diags []analysis.Diagnostic) int {
+	rep := jsonReport{Findings: []jsonFinding{}}
+	for _, a := range suite {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	sort.Strings(rep.Analyzers)
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moodvet:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stdout, string(out))
+	if len(diags) > 0 {
 		return 2
 	}
 	return 0

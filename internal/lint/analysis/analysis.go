@@ -99,6 +99,20 @@ type Target struct {
 // (no reason) and waivers naming unknown analyzers are themselves
 // diagnostics, so a waiver can never silently rot.
 func Run(t Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := RunRaw(t, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	diags = applyWaivers(t.Fset, t.Files, diags, analyzers)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunRaw applies the analyzers WITHOUT the waiver filter and returns
+// every diagnostic sorted by position. The waiver-hygiene meta-test
+// uses it to prove each //mood:allow in the tree still suppresses a
+// live finding.
+func RunRaw(t Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -113,7 +127,11 @@ func Run(t Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	diags = applyWaivers(t.Fset, t.Files, diags, analyzers)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -130,5 +148,4 @@ func Run(t Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
 }

@@ -1,0 +1,384 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Control-flow graphs over go/ast, for the flow-sensitive analyzers.
+//
+// BuildCFG lowers one function body into basic blocks connected by
+// edges. Edges out of an `if` or `for` condition are labeled with the
+// condition expression and the branch it takes, so a dataflow client
+// can refine facts along them ("on this edge, err != nil"). The lowering
+// is deliberately statement-granular: a block's Nodes are the simple
+// statements (and the condition/tag expressions) it executes in order;
+// compound statements never appear as nodes, so a client walking Nodes
+// with ast.Inspect sees each expression exactly once.
+//
+// Modeled control flow: if/else, for (init/cond/post, infinite), range,
+// switch and type switch (fallthrough included), select, return,
+// break/continue (labeled and bare), goto, and panic(...) as a
+// terminator. Deliberately not modeled: the per-iteration key/value
+// assignment of a range loop (the range operand expression is a node,
+// the loop variables are not), and deferred calls, which appear as
+// nodes where the defer statement executes — fine for the forward
+// must-analyses built on top, which only need "X happened before Y on
+// every path" over ordinary statements.
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks in creation order; Blocks[0] is Entry.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic exit block: every return statement
+	// and the natural fall-off-the-end path lead here.
+	Exit *Block
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	// Nodes are the simple statements and condition expressions the
+	// block executes, in order.
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge connects two blocks. Cond, when non-nil, is the controlling
+// condition expression and Branch the value it takes along this edge.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Branch   bool
+}
+
+// BuildCFG lowers body (a function or function-literal body) into a CFG.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, labels: map[string]*Block{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	b.jump(b.g.Exit)
+	return b.g
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label    string // enclosing statement label, "" when unlabeled
+	brk      *Block // break target (nil for constructs break cannot leave)
+	cont     *Block // continue target (nil for switch/select)
+	nextCase *Block // fallthrough target inside a switch case
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	cur    *Block // nil while the current point is unreachable
+	frames []frame
+	labels map[string]*Block // goto/labeled-statement targets
+	// label is a pending statement label to attach to the next
+	// loop/switch/select frame.
+	label string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	bl := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, branch bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Branch: branch}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// jump ends the current block with an unconditional edge to target;
+// no-op when the current point is unreachable.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, target, nil, false)
+	}
+	b.cur = nil
+}
+
+// node appends a simple node to the current block, reviving a detached
+// block for dead code so its nodes still exist in the graph (they keep
+// the vacuous all-facts state, so clients never report inside them).
+func (b *cfgBuilder) node(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// labelBlock returns (creating on first use) the block a label names.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if bl, ok := b.labels[name]; ok {
+		return bl
+	}
+	bl := b.newBlock()
+	b.labels[name] = bl
+	return bl
+}
+
+// takeLabel consumes the pending statement label.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.stmt2(s.Init)
+		b.node(s.Tag)
+		b.switchBody(s.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.stmt2(s.Init)
+		b.node(s.Assign)
+		b.switchBody(s.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.ReturnStmt:
+		b.node(s)
+		b.jump(b.g.Exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(lb)
+		b.cur = lb
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+	case *ast.ExprStmt:
+		b.node(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				// A panic terminates the block WITHOUT reaching Exit:
+				// Exit models ordinary returns, and a must-analysis
+				// asking "does X hold at every return" should not count
+				// panicking paths among them.
+				b.cur = nil
+			}
+		}
+	case *ast.EmptyStmt:
+	default:
+		// Assign, Decl, IncDec, Send, Go, Defer: simple nodes.
+		b.node(s)
+	}
+}
+
+// stmt2 handles an optional init statement.
+func (b *cfgBuilder) stmt2(s ast.Stmt) {
+	if s != nil {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.stmt2(s.Init)
+	b.node(s.Cond)
+	head := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(head, then, s.Cond, true)
+	b.cur = then
+	b.stmts(s.Body.List)
+	b.jump(after)
+
+	if s.Else != nil {
+		alt := b.newBlock()
+		b.edge(head, alt, s.Cond, false)
+		b.cur = alt
+		b.stmt(s.Else)
+		b.jump(after)
+	} else {
+		b.edge(head, after, s.Cond, false)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	b.stmt2(s.Init)
+	head := b.newBlock()
+	b.jump(head)
+	b.cur = head
+	b.node(s.Cond)
+
+	body := b.newBlock()
+	after := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, body, s.Cond, true)
+		b.edge(head, after, s.Cond, false)
+	} else {
+		b.edge(head, body, nil, false)
+	}
+
+	cont := head
+	if s.Post != nil {
+		post := b.newBlock()
+		b.cur = post
+		b.stmt(s.Post)
+		b.jump(head)
+		cont = post
+	}
+
+	b.frames = append(b.frames, frame{label: label, brk: after, cont: cont})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.jump(cont)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.node(s.X)
+	head := b.newBlock()
+	b.jump(head)
+
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body, nil, false)
+	b.edge(head, after, nil, false)
+
+	b.frames = append(b.frames, frame{label: label, brk: after, cont: head})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.jump(head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// switchBody lowers the case clauses of a switch or type switch. When
+// no default clause exists the head keeps a direct edge to the point
+// after (the tag may match nothing).
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string) {
+	head := b.cur
+	after := b.newBlock()
+
+	// Case blocks are created up front so fallthrough can target the
+	// next clause.
+	var cases []*ast.CaseClause
+	var blocks []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		cases = append(cases, cc)
+		blocks = append(blocks, b.newBlock())
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range cases {
+		if head != nil {
+			b.edge(head, blocks[i], nil, false)
+		}
+		next := after
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.frames = append(b.frames, frame{label: label, brk: after, nextCase: next})
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.node(e)
+		}
+		b.stmts(cc.Body)
+		b.jump(after)
+		b.frames = b.frames[:len(b.frames)-1]
+	}
+	if head != nil && (!hasDefault || len(cases) == 0) {
+		b.edge(head, after, nil, false)
+	}
+	b.cur = after
+}
+
+// selectStmt lowers a select: one block per comm clause, each leading
+// to the point after. A select with no default always takes some
+// clause, and `select {}` blocks forever — in both cases the point
+// after is reachable only through clause bodies (or not at all).
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	after := b.newBlock()
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cb := b.newBlock()
+		if head != nil {
+			b.edge(head, cb, nil, false)
+		}
+		b.cur = cb
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.frames = append(b.frames, frame{label: label, brk: after})
+		b.stmts(cc.Body)
+		b.jump(after)
+		b.frames = b.frames[:len(b.frames)-1]
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.GOTO:
+		b.jump(b.labelBlock(label))
+	case token.FALLTHROUGH:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].nextCase != nil {
+				b.jump(b.frames[i].nextCase)
+				return
+			}
+		}
+		b.cur = nil
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.brk != nil && (label == "" || f.label == label) {
+				b.jump(f.brk)
+				return
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.cont != nil && (label == "" || f.label == label) {
+				b.jump(f.cont)
+				return
+			}
+		}
+		b.cur = nil
+	}
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// mustBefore runs a one-fact must-analysis over the first function of
+// src: the fact is set by any call to gen() and queried just before
+// every call to probe(). The result maps each probe's line number to
+// whether the fact held there on every path. An optional edge transfer
+// sets the fact along the true edge of any condition that is the bare
+// identifier `ok`.
+func mustBefore(t *testing.T, src string, edgeOK bool) map[int]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var body *ast.BlockStmt
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			body = fd.Body
+			break
+		}
+	}
+	if body == nil {
+		t.Fatal("no function body in source")
+	}
+	callTo := func(n ast.Node, name string) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	m := &MustFlow{
+		NumFacts: 1,
+		Transfer: func(n ast.Node, fs *Facts) {
+			if callTo(n, "gen") {
+				fs.Set(0)
+			}
+		},
+	}
+	if edgeOK {
+		m.EdgeTransfer = func(cond ast.Expr, branch bool, fs *Facts) {
+			if id, ok := cond.(*ast.Ident); ok && id.Name == "ok" && branch {
+				fs.Set(0)
+			}
+		}
+	}
+	g := BuildCFG(body)
+	in := m.Solve(g)
+	out := map[int]bool{}
+	m.Walk(g, in, func(n ast.Node, before *Facts) {
+		if callTo(n, "probe") {
+			out[fset.Position(n.Pos()).Line] = before.Has(0)
+		}
+	})
+	return out
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	got := mustBefore(t, `package p
+func f() {
+	probe() // 3: not yet
+	gen()
+	probe() // 5: yes
+}`, false)
+	want := map[int]bool{3: false, 5: true}
+	assertFacts(t, got, want)
+}
+
+func TestCFGIfMerge(t *testing.T) {
+	// gen on only one arm: must-fact does not survive the merge.
+	got := mustBefore(t, `package p
+func f(c bool) {
+	if c {
+		gen()
+		probe() // 5: yes inside the arm
+	}
+	probe() // 7: no — else path skipped gen
+}`, false)
+	assertFacts(t, got, map[int]bool{5: true, 7: false})
+}
+
+func TestCFGIfBothArms(t *testing.T) {
+	got := mustBefore(t, `package p
+func f(c bool) {
+	if c {
+		gen()
+	} else {
+		gen()
+	}
+	probe() // 8: yes — both paths gen
+}`, false)
+	assertFacts(t, got, map[int]bool{8: true})
+}
+
+func TestCFGEarlyReturnGuard(t *testing.T) {
+	// The guard returns on the bad path, so after it the fact holds.
+	got := mustBefore(t, `package p
+func f(c bool) {
+	if c {
+		return
+	}
+	gen()
+	probe() // 7: yes
+}`, false)
+	assertFacts(t, got, map[int]bool{7: true})
+}
+
+func TestCFGForLoop(t *testing.T) {
+	// gen inside the loop body: zero-iteration path reaches the probe
+	// without it.
+	got := mustBefore(t, `package p
+func f(c bool) {
+	for c {
+		gen()
+		probe() // 5: yes (body runs after its own gen)
+	}
+	probe() // 7: no
+}`, false)
+	assertFacts(t, got, map[int]bool{5: true, 7: false})
+}
+
+func TestCFGForBreak(t *testing.T) {
+	// break before gen: the after-loop point must not claim the fact.
+	got := mustBefore(t, `package p
+func f(c, d bool) {
+	for {
+		if d {
+			break
+		}
+		gen()
+	}
+	probe() // 9: no — the break path skips gen
+}`, false)
+	assertFacts(t, got, map[int]bool{9: false})
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	got := mustBefore(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		gen()
+		fallthrough
+	case 2:
+		probe() // 8: no — reachable directly via case 2
+	default:
+		probe() // 10: no
+	}
+	probe() // 12: no
+}`, false)
+	assertFacts(t, got, map[int]bool{8: false, 10: false, 12: false})
+}
+
+func TestCFGSelect(t *testing.T) {
+	got := mustBefore(t, `package p
+func f(ch chan int) {
+	gen()
+	select {
+	case <-ch:
+		probe() // 6: yes
+	default:
+		probe() // 8: yes
+	}
+	probe() // 10: yes
+}`, false)
+	assertFacts(t, got, map[int]bool{6: true, 8: true, 10: true})
+}
+
+func TestCFGGoto(t *testing.T) {
+	// goto jumps over gen: the label's in-set meets both paths.
+	got := mustBefore(t, `package p
+func f(c bool) {
+	if c {
+		goto done
+	}
+	gen()
+done:
+	probe() // 8: no
+}`, false)
+	assertFacts(t, got, map[int]bool{8: false})
+}
+
+func TestCFGEdgeTransfer(t *testing.T) {
+	// The fact is granted only along the ok==true edge.
+	got := mustBefore(t, `package p
+func f(ok bool) {
+	if ok {
+		probe() // 4: yes — edge transfer
+	} else {
+		probe() // 6: no
+	}
+	probe() // 8: no — merge loses it
+}`, true)
+	assertFacts(t, got, map[int]bool{4: true, 6: false, 8: false})
+}
+
+func TestCFGEdgeTransferGuardReturn(t *testing.T) {
+	// if !ok { return } shape: the condition is !ok, branch false of
+	// !ok is not the ok identifier, so no refinement — the analyzer
+	// client is expected to normalize negation; here we just pin that
+	// an unrelated condition grants nothing.
+	got := mustBefore(t, `package p
+func f(ok bool) {
+	if ok {
+	} else {
+		return
+	}
+	probe() // 7: no — EdgeTransfer fires on the if edges, but the
+	// merge point joins only the ok==true path... actually the else
+	// path returned, so the fact survives.
+}`, true)
+	assertFacts(t, got, map[int]bool{7: true})
+}
+
+func TestCFGDeadCodeVacuous(t *testing.T) {
+	// Statements after return are unreachable: they keep the vacuous
+	// all-facts state so clients never flag them.
+	got := mustBefore(t, `package p
+func f() {
+	return
+	probe() // 4: vacuously true
+}`, false)
+	assertFacts(t, got, map[int]bool{4: true})
+}
+
+func TestCFGRange(t *testing.T) {
+	got := mustBefore(t, `package p
+func f(xs []int) {
+	for range xs {
+		gen()
+	}
+	probe() // 6: no — empty slice path
+}`, false)
+	assertFacts(t, got, map[int]bool{6: false})
+}
+
+func assertFacts(t *testing.T, got, want map[int]bool) {
+	t.Helper()
+	for line, w := range want {
+		g, ok := got[line]
+		if !ok {
+			t.Errorf("line %d: probe not visited", line)
+			continue
+		}
+		if g != w {
+			t.Errorf("line %d: fact held = %v, want %v", line, g, w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("visited probes = %v, want lines of %v", got, want)
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import "go/ast"
+
+// Forward must-analysis over a CFG.
+//
+// Facts are small integers in a bitset. A fact holds at a program point
+// only if it holds along EVERY path reaching it: the entry starts with
+// no facts, every other block starts with all facts (the vacuous truth
+// for unreached code), and the meet over incoming edges is set
+// intersection. Transfer applies a node's effects; EdgeTransfer refines
+// the set along a labeled conditional edge ("on this edge, err != nil
+// is true"), which is what lets a client prove guard-shaped properties
+// like "the apply below the error check is dominated by the append".
+//
+// The solver is a standard monotone worklist: in-sets start at top and
+// only ever shrink, so the incremental intersection converges to the
+// greatest fixpoint in O(blocks × facts) bitset steps.
+
+// Facts is a bitset of dataflow facts.
+type Facts struct {
+	n    int
+	bits []uint64
+}
+
+// NewFacts returns an empty set sized for n facts.
+func NewFacts(n int) *Facts {
+	return &Facts{n: n, bits: make([]uint64, (n+63)/64)}
+}
+
+// Has reports whether fact i is set.
+func (f *Facts) Has(i int) bool { return f.bits[i/64]&(1<<(i%64)) != 0 }
+
+// Set adds fact i.
+func (f *Facts) Set(i int) { f.bits[i/64] |= 1 << (i % 64) }
+
+// Clear removes fact i.
+func (f *Facts) Clear(i int) { f.bits[i/64] &^= 1 << (i % 64) }
+
+// SetAll sets every fact (the vacuous top element).
+func (f *Facts) SetAll() {
+	for i := range f.bits {
+		f.bits[i] = ^uint64(0)
+	}
+	if f.n%64 != 0 && len(f.bits) > 0 {
+		f.bits[len(f.bits)-1] = (1 << (f.n % 64)) - 1
+	}
+}
+
+// Copy returns an independent copy.
+func (f *Facts) Copy() *Facts {
+	c := &Facts{n: f.n, bits: make([]uint64, len(f.bits))}
+	copy(c.bits, f.bits)
+	return c
+}
+
+// IntersectWith meets o into f, reporting whether f changed.
+func (f *Facts) IntersectWith(o *Facts) bool {
+	changed := false
+	for i := range f.bits {
+		next := f.bits[i] & o.bits[i]
+		if next != f.bits[i] {
+			f.bits[i] = next
+			changed = true
+		}
+	}
+	return changed
+}
+
+// MustFlow is one forward must-analysis: the client supplies the fact
+// count and the transfer functions, Solve produces per-block entry
+// sets, and Walk replays the transfer so the client can ask "which
+// facts hold just before this node".
+type MustFlow struct {
+	NumFacts int
+	// Transfer applies one node's effects to the set, in place.
+	Transfer func(n ast.Node, f *Facts)
+	// EdgeTransfer, when non-nil, refines the set along a conditional
+	// edge: cond is the controlling expression, branch the value it
+	// takes on this edge.
+	EdgeTransfer func(cond ast.Expr, branch bool, f *Facts)
+}
+
+// Solve computes the entry fact set of every block, indexed by
+// Block.Index.
+func (m *MustFlow) Solve(g *CFG) []*Facts {
+	in := make([]*Facts, len(g.Blocks))
+	for i := range in {
+		in[i] = NewFacts(m.NumFacts)
+		if i != g.Entry.Index {
+			in[i].SetAll()
+		}
+	}
+	work := []*Block{g.Entry}
+	queued := make([]bool, len(g.Blocks))
+	queued[g.Entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := in[b.Index].Copy()
+		for _, n := range b.Nodes {
+			m.Transfer(n, out)
+		}
+		for _, e := range b.Succs {
+			ef := out
+			if e.Cond != nil && m.EdgeTransfer != nil {
+				ef = out.Copy()
+				m.EdgeTransfer(e.Cond, e.Branch, ef)
+			}
+			if in[e.To.Index].IntersectWith(ef) && !queued[e.To.Index] {
+				queued[e.To.Index] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}
+
+// Walk replays the transfer through every block, calling visit with
+// the facts holding immediately before each node. in must be the
+// result of Solve on the same graph.
+func (m *MustFlow) Walk(g *CFG, in []*Facts, visit func(n ast.Node, before *Facts)) {
+	for _, b := range g.Blocks {
+		f := in[b.Index].Copy()
+		for _, n := range b.Nodes {
+			visit(n, f)
+			m.Transfer(n, f)
+		}
+	}
+}

@@ -71,6 +71,26 @@ func parseWaivers(fset *token.FileSet, files []*ast.File, known map[string]bool)
 	return ws, bad
 }
 
+// WaiverSite is one well-formed //mood:allow comment, as seen by the
+// waiver-hygiene meta-test.
+type WaiverSite struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+}
+
+// Waivers returns every well-formed waiver comment in the files.
+// Malformed waivers are ignored here — Run already reports them as
+// diagnostics.
+func Waivers(fset *token.FileSet, files []*ast.File) []WaiverSite {
+	ws, _ := parseWaivers(fset, files, nil)
+	var out []WaiverSite
+	for _, w := range ws {
+		out = append(out, WaiverSite{Pos: w.pos, Analyzers: w.analyzers, Reason: w.reason})
+	}
+	return out
+}
+
 // applyWaivers drops diagnostics covered by a well-formed waiver on the
 // same line or the line above, and appends the malformed-waiver
 // diagnostics.

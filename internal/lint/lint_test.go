@@ -131,6 +131,79 @@ func TestLockScope(t *testing.T) {
 	})
 }
 
+func TestAppendApply(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:     "testdata/appendapply",
+		PkgPath: "fixture/appendapply",
+		Analyzers: []*analysis.Analyzer{lint.AppendApply(lint.AppendApplyConfig{
+			PackagePath: "fixture/appendapply",
+			StateTypes:  map[string]bool{"stateShard": true, "UserStats": true},
+			ApplyMethods: map[string]map[string]bool{
+				"jobStore": {"setDone": true},
+			},
+			ApplyHelpers: map[string]bool{"applyCommit": true},
+			ExemptFuncs:  map[string]bool{"Recover": true},
+			AppendFuncs:  map[string]bool{"Append": true},
+			StoreNames:   map[string]bool{"store": true},
+		})},
+	})
+}
+
+func TestGoroutineJoin(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:     "testdata/goroutinejoin",
+		PkgPath: "fixture/goroutinejoin",
+		Analyzers: []*analysis.Analyzer{lint.GoroutineJoin(lint.GoroutineJoinConfig{
+			ExcludePathPrefixes: []string{"fixture/cmd/"},
+		})},
+	})
+}
+
+func TestGoroutineJoinExcludedPackage(t *testing.T) {
+	// The same fixture type-checked as a cmd/ package produces nothing:
+	// binaries own the process lifetime.
+	linttest.Run(t, linttest.Fixture{
+		Dir:     "testdata/goroutinejoin",
+		PkgPath: "fixture/cmd/tool",
+		Analyzers: []*analysis.Analyzer{lint.GoroutineJoin(lint.GoroutineJoinConfig{
+			ExcludePathPrefixes: []string{"fixture/cmd/"},
+		})},
+		IgnoreWants: true,
+	})
+}
+
+func TestProblemDialect(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:     "testdata/problemdialect",
+		PkgPath: "fixture/problemdialect",
+		Analyzers: []*analysis.Analyzer{lint.ProblemDialect(lint.ProblemDialectConfig{
+			PackagePath: "fixture/problemdialect",
+			Sinks:       map[string]int{"newProblem": 1, "writeError": 3},
+			CarrierFields: map[string]map[string]bool{
+				"chunkOutcome": {"code": true},
+				"Problem":      {"Code": true},
+			},
+			ConstPrefix: "Code",
+			OpenAPIFile: "openapi.go",
+		})},
+	})
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, linttest.Fixture{
+		Dir:     "testdata/hotalloc",
+		PkgPath: "fixture/hotalloc",
+		Analyzers: []*analysis.Analyzer{lint.HotAlloc(lint.HotAllocConfig{
+			HotFuncs: map[string]map[string]bool{
+				"fixture/hotalloc": {
+					"ScanHot": true, "CaptureHot": true, "AppendHot": true,
+					"BoxHot": true, "WaivedHot": true,
+				},
+			},
+		})},
+	})
+}
+
 func TestWaiverContract(t *testing.T) {
 	linttest.Run(t, linttest.Fixture{
 		Dir:       "testdata/waiver",

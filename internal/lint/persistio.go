@@ -6,17 +6,25 @@ import (
 	"mood/internal/lint/analysis"
 )
 
-// persistFuncs are the os-package functions that create, overwrite or
-// move files. Calling any of them outside internal/store means durable
-// state is being written behind the Store abstraction's back — invisible
-// to the WAL, to crash recovery, and to the fault-injection harness
-// that proves no acked upload is ever lost.
+// persistFuncs are the os-package functions that create, overwrite,
+// move, truncate or delete files and directories. Calling any of them
+// outside internal/store means durable state is being written (or
+// destroyed) behind the Store abstraction's back — invisible to the
+// WAL, to crash recovery, and to the fault-injection harness that
+// proves no acked upload is ever lost. The destructive set (Remove,
+// RemoveAll, Truncate) matters as much as the creating one: deleting a
+// segment the recovery path still needs is the same class of bug as
+// writing one it cannot see.
 var persistFuncs = map[string]bool{
 	"WriteFile":  true,
 	"Create":     true,
 	"CreateTemp": true,
 	"OpenFile":   true,
 	"Rename":     true,
+	"MkdirAll":   true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Truncate":   true,
 }
 
 // PersistIOConfig scopes the analyzer.
@@ -47,8 +55,9 @@ func DefaultPersistIO() *analysis.Analyzer {
 func PersistIO(cfg PersistIOConfig) *analysis.Analyzer {
 	a := &analysis.Analyzer{
 		Name: "persistio",
-		Doc: "forbid os.WriteFile/Create/CreateTemp/OpenFile/Rename outside internal/store " +
-			"so every durable write is visible to the WAL, recovery and fault injection (PR 7)",
+		Doc: "forbid os.WriteFile/Create/CreateTemp/OpenFile/Rename/MkdirAll/Remove/RemoveAll/" +
+			"Truncate outside internal/store so every durable write (and delete) is visible " +
+			"to the WAL, recovery and fault injection (PR 7)",
 	}
 	a.Run = func(pass *analysis.Pass) error {
 		if cfg.AllowedPackages[pass.PkgPath()] {

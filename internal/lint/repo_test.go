@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"fmt"
 	"testing"
 
 	"mood/internal/lint"
@@ -37,4 +38,84 @@ func TestRepoIsClean(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestWaiverHygiene proves every //mood:allow in the tree is still
+// load-bearing: for each waiver site and each analyzer it names, the
+// unfiltered run (RunRaw) must produce a diagnostic from that analyzer
+// on the waived line or the line below — i.e. removing the waiver would
+// re-surface a finding. A waiver whose finding no longer exists is
+// suppression rot: the code moved on and the comment is now licensing
+// future violations for free.
+func TestWaiverHygiene(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	targets, err := load.Load("../..", "mood", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	suite := lint.Suite()
+
+	// covered["file:line:analyzer"] — raw findings, across all targets
+	// (test variants merge in; a finding from any variant keeps the
+	// waiver honest).
+	covered := map[string]bool{}
+	type site struct {
+		pos      string
+		analyzer string
+		keys     []string
+	}
+	siteSet := map[string]site{}
+	for _, target := range targets {
+		raw, err := analysis.RunRaw(target, suite)
+		if err != nil {
+			t.Fatalf("%s: %v", target.Pkg.Path(), err)
+		}
+		for _, d := range raw {
+			covered[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)] = true
+		}
+		for _, w := range analysis.Waivers(target.Fset, target.Files) {
+			for _, name := range w.Analyzers {
+				if name == "nolint" || !isSuiteAnalyzer(suite, name) {
+					continue // unknown names are Run's diagnostic, not ours
+				}
+				id := fmt.Sprintf("%s:%d:%s", w.Pos.Filename, w.Pos.Line, name)
+				siteSet[id] = site{
+					pos:      fmt.Sprintf("%s:%d", w.Pos.Filename, w.Pos.Line),
+					analyzer: name,
+					keys: []string{
+						fmt.Sprintf("%s:%d:%s", w.Pos.Filename, w.Pos.Line, name),
+						fmt.Sprintf("%s:%d:%s", w.Pos.Filename, w.Pos.Line+1, name),
+					},
+				}
+			}
+		}
+	}
+	if len(siteSet) == 0 {
+		t.Fatal("found no waiver sites; the tree is known to carry some")
+	}
+	for _, s := range siteSet {
+		alive := false
+		for _, k := range s.keys {
+			if covered[k] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			t.Errorf("%s: //mood:allow %s suppresses nothing: the %s finding it once "+
+				"covered is gone — delete the waiver (or move it to the code that still needs it)",
+				s.pos, s.analyzer, s.analyzer)
+		}
+	}
+}
+
+func isSuiteAnalyzer(suite []*analysis.Analyzer, name string) bool {
+	for _, a := range suite {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
 }

@@ -13,5 +13,9 @@ func Suite() []*analysis.Analyzer {
 		DefaultRouteTable(),
 		DefaultLockScope(),
 		DefaultPersistIO(),
+		DefaultAppendApply(),
+		DefaultGoroutineJoin(),
+		DefaultProblemDialect(),
+		DefaultHotAlloc(),
 	}
 }

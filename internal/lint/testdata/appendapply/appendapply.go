@@ -1,0 +1,177 @@
+// Package fixture exercises appendapply with a miniature of the
+// service tier: a Store with Append, sharded state, and a job store.
+// Applies dominated by a checked append pass; applies before the
+// append, on the refusal branch, or with the error ignored are flagged.
+package fixture
+
+type Store interface {
+	Append(recs ...int) error
+}
+
+type stateShard struct {
+	published []int
+	count     int
+}
+
+type UserStats struct{ Uploads int }
+
+type jobStore struct{ jobs map[string]int }
+
+func (j *jobStore) setDone(id string, n int) { j.jobs[id] = n }
+func (j *jobStore) setRunning(id string)     { j.jobs[id] = -1 }
+
+type Server struct {
+	store Store
+	shard stateShard
+	jobs  *jobStore
+	users map[string]*UserStats
+}
+
+// goodCommit is the canonical append-then-apply shape: the refusal
+// branch returns before anything is applied, so the applies below the
+// error check verify.
+func (s *Server) goodCommit(id string, n int) error {
+	if s.store != nil {
+		err := s.store.Append(n)
+		if err != nil {
+			return err
+		}
+	}
+	s.shard.published = append(s.shard.published, n)
+	s.shard.count++
+	s.jobs.setDone(id, n)
+	return nil
+}
+
+// applyBeforeAppend mutates state before anything was made durable.
+func (s *Server) applyBeforeAppend(id string, n int) error {
+	s.shard.count++ // want `appendapply: write to stateShard\.count is not dominated by a durable append`
+	if s.store != nil {
+		if err := s.store.Append(n); err != nil {
+			return err
+		}
+	}
+	s.jobs.setDone(id, n)
+	return nil
+}
+
+// ignoredAppendError applies after an append whose error was dropped:
+// nothing proves the record reached storage.
+func (s *Server) ignoredAppendError(id string, n int) {
+	s.store.Append(n)
+	s.jobs.setDone(id, n) // want `appendapply: state mutation jobStore\.setDone is not dominated by a durable append`
+}
+
+// refusalWithoutReturn checks the error but falls through: the refusal
+// path reaches the apply, so the meet kills the durable fact.
+func (s *Server) refusalWithoutReturn(n int) {
+	err := s.store.Append(n)
+	if err != nil {
+		n = 0
+	}
+	s.shard.count += n // want `appendapply: write to stateShard\.count is not dominated by a durable append`
+}
+
+// setRunning is not a mutation entry point (job bookkeeping before the
+// commit is fine), and reads of shard fields are not applies.
+func (s *Server) bookkeepingOnly(id string) int {
+	s.jobs.setRunning(id)
+	return s.shard.count
+}
+
+// commitAll has the durableOrErr contract: every return is durable or
+// carries a non-nil error, so callers may guard on its error.
+func (s *Server) commitAll(n int) error {
+	if s.store == nil {
+		return nil // vacuously durable: no store configured
+	}
+	if err := s.store.Append(n); err != nil {
+		return err
+	}
+	return nil
+}
+
+// throughHelper applies under the helper's summarised guarantee.
+func (s *Server) throughHelper(id string, n int) error {
+	if err := s.commitAll(n); err != nil {
+		return err
+	}
+	s.jobs.setDone(id, n)
+	return nil
+}
+
+// mustAppend is alwaysDurable: the store-less exit is vacuous and the
+// failing append panics instead of returning.
+func (s *Server) mustAppend(n int) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Append(n); err != nil {
+		panic(err)
+	}
+}
+
+// afterMustAppend applies after a bare call to an alwaysDurable helper.
+func (s *Server) afterMustAppend(n int) {
+	s.mustAppend(n)
+	s.shard.count += n
+}
+
+// Recover is exempt by name: replay IS the durability mechanism.
+func (s *Server) Recover(recs []int) {
+	for _, r := range recs {
+		s.shard.published = append(s.shard.published, r)
+		s.shard.count++
+	}
+}
+
+// applyCommit is an apply helper: its body is exempt, its call sites
+// carry the obligation.
+func (s *Server) applyCommit(id string, n int) {
+	s.shard.count += n
+	us, ok := s.users[id]
+	if !ok {
+		us = &UserStats{}
+		s.users[id] = us
+	}
+	us.Uploads++
+	s.jobs.setDone(id, n)
+}
+
+// helperCallNeedsDurability: calling the apply helper without an append
+// is flagged at the call site.
+func (s *Server) helperCallNeedsDurability(id string, n int) {
+	s.applyCommit(id, n) // want `appendapply: apply helper call applyCommit is not dominated by a durable append`
+}
+
+// goroutineResetsFacts: a function literal runs at an unknown time, so
+// durability established outside it does not flow in.
+func (s *Server) goroutineResetsFacts(id string, n int) error {
+	if err := s.store.Append(n); err != nil {
+		return err
+	}
+	go func() {
+		s.jobs.setDone(id, n) // want `appendapply: state mutation jobStore\.setDone is not dominated by a durable append`
+	}()
+	return nil
+}
+
+// waivedBestEffort mirrors the audit path's sanctioned best-effort
+// apply.
+func (s *Server) waivedBestEffort(id string, n int) {
+	s.store.Append(n)
+	//mood:allow appendapply -- fixture: best-effort apply by contract, mirrors the audit path
+	s.jobs.setDone(id, n)
+}
+
+// errReassignmentRevokes: overwriting the guarded error with a fresh
+// one severs the append's guarantee.
+func (s *Server) errReassignmentRevokes(id string, n int) error {
+	err := s.store.Append(n)
+	err = nil
+	if err != nil {
+		return err
+	}
+	s.jobs.setDone(id, n) // want `appendapply: state mutation jobStore\.setDone is not dominated by a durable append`
+	return nil
+}

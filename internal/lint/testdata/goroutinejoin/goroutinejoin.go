@@ -1,0 +1,108 @@
+// Package fixture exercises goroutinejoin: goroutines joined through a
+// WaitGroup the package Waits on or a channel the package receives
+// from pass; fire-and-forget spawns are flagged.
+package fixture
+
+import "sync"
+
+func work() {}
+
+// wgJoined is the classic bounded fan-out: Add, spawn with deferred
+// Done, Wait.
+func wgJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// chanJoined closes an owned channel the spawner receives from.
+func chanJoined() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// sendJoined delivers a result the spawner receives.
+func sendJoined() int {
+	res := make(chan int)
+	go func() {
+		res <- 1
+	}()
+	return <-res
+}
+
+// Worker joins across methods: the loop closes the done field, Close
+// receives it — object identity on the field links the two.
+type Worker struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (w *Worker) Start() {
+	go w.loop()
+}
+
+func (w *Worker) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func (w *Worker) Close() {
+	close(w.stop)
+	<-w.done
+}
+
+// fireAndForget has no join evidence at all.
+func fireAndForget() {
+	go func() { // want `goroutinejoin: goroutine has no provable join`
+		work()
+	}()
+}
+
+// unresolvable spawns a function value the analyzer cannot see into.
+func unresolvable(fn func()) {
+	go fn() // want `goroutinejoin: goroutine has no provable join`
+}
+
+// orphanSend signals a channel nothing in the package receives from.
+var orphan = make(chan int, 1)
+
+func orphanSend() {
+	go func() { // want `goroutinejoin: goroutine has no provable join`
+		orphan <- 1
+	}()
+}
+
+// waived is the sanctioned escape hatch for pipe-feeder shapes.
+func waived() {
+	//mood:allow goroutinejoin -- fixture: request-scoped writer, the transport's Body close unblocks it
+	go func() {
+		work()
+	}()
+}
+
+// rangeJoined: draining by range counts as receiving.
+func rangeJoined() {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		ch <- 1
+	}()
+	for v := range ch {
+		_ = v
+	}
+}

@@ -1,0 +1,81 @@
+// Package fixture exercises hotalloc: the declared hot functions may
+// not call fmt, capture enclosing variables in closures, append without
+// preallocation, or box scalars into interface arguments. Cold
+// functions do all of that freely.
+package fixture
+
+import "fmt"
+
+func sinkAny(v any)      {}
+func sinkInt(v int)      {}
+func variadic(vs ...any) {}
+
+// ScanHot is hot: formatting is banned there.
+func ScanHot(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `hotalloc: fmt\.Sprintf in hot path ScanHot`
+}
+
+// CaptureHot is hot: the closure captures i and limit from the
+// enclosing scope (parameters included), pinning them to the heap.
+func CaptureHot(limit int) int {
+	i := 0
+	bump := func() { // want `hotalloc: closure in hot path CaptureHot captures i, limit by reference`
+		if i < limit {
+			i++
+		}
+	}
+	bump()
+	// A closure that touches only its own locals and parameters is fine.
+	double := func(x int) int {
+		y := x * 2
+		return y
+	}
+	return double(i)
+}
+
+// AppendHot is hot: growing an unsized slice in a loop is flagged;
+// appending to a preallocated slice or a caller-owned buffer is the
+// sanctioned idiom.
+func AppendHot(buf []byte, n int) []byte {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `hotalloc: append without preallocation in hot path AppendHot`
+	}
+	sized := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		sized = append(sized, i)
+	}
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i))
+	}
+	_ = sized
+	return buf
+}
+
+// BoxHot is hot: a scalar passed where an interface is expected
+// allocates on every call, including through variadics.
+func BoxHot(n int) {
+	sinkAny(n) // want `hotalloc: scalar int boxed into an interface argument in hot path BoxHot`
+	sinkInt(n)
+	sinkAny(nil)
+	variadic(n) // want `hotalloc: scalar int boxed into an interface argument in hot path BoxHot`
+}
+
+// WaivedHot shows the escape hatch.
+func WaivedHot(n int) string {
+	//mood:allow hotalloc -- fixture: cold error path inside a hot function
+	return fmt.Sprintf("bad version %d", n)
+}
+
+// cold is not in the hot list: everything above is fine here.
+func cold(n int) string {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	sinkAny(n)
+	f := func() int { return n }
+	_ = f()
+	_ = out
+	return fmt.Sprintf("n=%d", n)
+}

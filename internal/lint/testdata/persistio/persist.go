@@ -1,6 +1,6 @@
-// Package fixture exercises persistio: direct file creation, overwrite
-// and rename through the os package are flagged; reads, removals and
-// waived lines are not.
+// Package fixture exercises persistio: direct file creation,
+// overwrite, rename, directory creation, deletion and truncation
+// through the os package are flagged; reads and waived lines are not.
 package fixture
 
 import "os"
@@ -23,12 +23,27 @@ func direct() error {
 	return os.Rename("a", "b") // want `persistio: os\.Rename writes the filesystem directly`
 }
 
-// Reads and deletes do not persist state; they are out of scope.
-func readsAndRemovesAreFine() {
+// Reads do not persist state; they are out of scope.
+func readsAreFine() {
 	_, _ = os.ReadFile("state.json")
 	_, _ = os.Open("state.json")
-	_ = os.Remove("state.json")
 	_, _ = os.Stat("state.json")
+}
+
+// Destruction is the other half of the discipline: deleting or
+// truncating a segment behind the store's back breaks recovery just
+// like writing one behind its back.
+func destructive() error {
+	if err := os.MkdirAll("data/wal", 0o755); err != nil { // want `persistio: os\.MkdirAll writes the filesystem directly`
+		return err
+	}
+	if err := os.Remove("state.json"); err != nil { // want `persistio: os\.Remove writes the filesystem directly`
+		return err
+	}
+	if err := os.RemoveAll("data"); err != nil { // want `persistio: os\.RemoveAll writes the filesystem directly`
+		return err
+	}
+	return os.Truncate("wal.seg", 0) // want `persistio: os\.Truncate writes the filesystem directly`
 }
 
 func waivedAbove() {

@@ -150,6 +150,21 @@ func runCfg(modulePath string, analyzers []*analysis.Analyzer, cfgPath string, s
 	if err != nil {
 		return 0, err
 	}
+	// go vet compiles a package twice when it has in-package tests: once
+	// plain and once as the test variant ("pkg [pkg.test]"), whose file
+	// list repeats every base file. Findings in those base files were
+	// already reported by the plain run, so the variant keeps only the
+	// _test.go ones — otherwise every diagnostic in a tested package
+	// prints twice.
+	if strings.Contains(cfg.ImportPath, " [") {
+		kept := diags[:0]
+		for _, d := range diags {
+			if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
 	for _, d := range diags {
 		fmt.Fprintln(stderr, d)
 	}

@@ -2,7 +2,10 @@ package vetdriver
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -28,6 +31,57 @@ func TestProtocolProbes(t *testing.T) {
 	got := strings.TrimSpace(out.String())
 	if !strings.Contains(got, " version devel ") || !strings.Contains(got, "buildID=") {
 		t.Fatalf("-V=full printed %q, want a devel version line with a buildID", got)
+	}
+}
+
+// TestTestVariantDedup pins the double-report suppression: go vet
+// compiles a tested package twice (plain, then as "pkg [pkg.test]"
+// with the base files repeated), so the variant run must keep only the
+// _test.go findings. A bare //mood:allow produces a framework-level
+// waiver diagnostic without needing any analyzer or import, which
+// makes the synthetic package trivial to type-check.
+func TestTestVariantDedup(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	testSrc := filepath.Join(dir, "a_test.go")
+	if err := os.WriteFile(src, []byte("package x\n\n//mood:allow\nfunc A() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(testSrc, []byte("package x\n\n//mood:allow\nfunc B() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(importPath string, goFiles []string) []string {
+		t.Helper()
+		cfg := Config{
+			ID:         importPath,
+			ImportPath: importPath,
+			ModulePath: "mood",
+			GoFiles:    goFiles,
+		}
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgPath := filepath.Join(dir, "vet.cfg")
+		if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stderr bytes.Buffer
+		code := Main("mood", nil, []string{cfgPath}, io.Discard, &stderr)
+		if code != 2 {
+			t.Fatalf("runCfg(%q) = exit %d, stderr %q; want 2 (findings)", importPath, code, stderr.String())
+		}
+		return strings.Split(strings.TrimSpace(stderr.String()), "\n")
+	}
+
+	plain := run("mood/x", []string{src})
+	if len(plain) != 1 || !strings.Contains(plain[0], "a.go") {
+		t.Errorf("plain run reported %q, want the single a.go waiver diagnostic", plain)
+	}
+	variant := run("mood/x [mood/x.test]", []string{src, testSrc})
+	if len(variant) != 1 || !strings.Contains(variant[0], "a_test.go") {
+		t.Errorf("test-variant run reported %q, want only the a_test.go diagnostic (base files dedup)", variant)
 	}
 }
 

@@ -331,102 +331,120 @@ func (s *Server) processBatchChunk(ctx context.Context, idx int, line []byte, hd
 // exactly (pinned by FuzzUploadV2's cross-check).
 func parseBatchChunkFast(line []byte) (BatchChunk, bool) {
 	var c BatchChunk
-	i, n := 0, len(line)
-	skipWS := func() {
-		for i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\n' || line[i] == '\r') {
-			i++
-		}
-	}
-	eat := func(b byte) bool {
-		if i < n && line[i] == b {
-			i++
-			return true
-		}
-		return false
-	}
-	// parseString consumes a canonical string: escape-free, no control
-	// bytes (the stdlib rejects raw controls and rewrites invalid UTF-8,
-	// so both defer to it).
-	parseString := func() (string, bool) {
-		if !eat('"') {
-			return "", false
-		}
-		start := i
-		for i < n && line[i] != '"' {
-			if line[i] == '\\' || line[i] < 0x20 {
-				return "", false
-			}
-			i++
-		}
-		if i >= n {
-			return "", false
-		}
-		s := line[start:i]
-		i++
-		if !utf8.Valid(s) {
-			return "", false
-		}
-		return string(s), true
-	}
-
-	skipWS()
-	if !eat('{') {
+	sc := chunkScanner{line: line, n: len(line)}
+	sc.skipWS()
+	if !sc.eat('{') {
 		return c, false
 	}
-	skipWS()
-	if eat('}') {
-		skipWS()
-		return c, i == n
+	sc.skipWS()
+	if sc.eat('}') {
+		sc.skipWS()
+		return c, sc.i == sc.n
 	}
 	for {
-		skipWS()
-		key, ok := parseString()
+		sc.skipWS()
+		key, ok := sc.parseString()
 		if !ok {
 			return c, false
 		}
-		skipWS()
-		if !eat(':') {
+		sc.skipWS()
+		if !sc.eat(':') {
 			return c, false
 		}
-		skipWS()
+		sc.skipWS()
 		switch key {
 		case "user":
-			if c.User, ok = parseString(); !ok {
+			if c.User, ok = sc.parseString(); !ok {
 				return c, false
 			}
 		case "key":
-			if c.Key, ok = parseString(); !ok {
+			if c.Key, ok = sc.parseString(); !ok {
 				return c, false
 			}
 		case "async":
 			switch {
-			case bytes.HasPrefix(line[i:], []byte("true")):
+			case bytes.HasPrefix(sc.rest(), []byte("true")):
 				c.Async = true
-				i += 4
-			case bytes.HasPrefix(line[i:], []byte("false")):
+				sc.i += 4
+			case bytes.HasPrefix(sc.rest(), []byte("false")):
 				c.Async = false
-				i += 5
+				sc.i += 5
 			default:
 				return c, false
 			}
 		case "records":
-			recs, consumed, ok := trace.ScanRecords(line[i:])
+			recs, consumed, ok := trace.ScanRecords(sc.rest())
 			if !ok {
 				return c, false
 			}
 			c.Records = recs
-			i += consumed
+			sc.i += consumed
 		default:
 			return c, false
 		}
-		skipWS()
+		sc.skipWS()
 		switch {
-		case eat(','):
-		case eat('}'):
-			skipWS()
-			return c, i == n
+		case sc.eat(','):
+		case sc.eat('}'):
+			sc.skipWS()
+			return c, sc.i == sc.n
 		default:
 			return c, false
 		}
 	}
+}
+
+// chunkScanner is parseBatchChunkFast's cursor over one batch line. It
+// is a struct with methods rather than a set of closures: a closure
+// capturing the cursor by reference forces it (and the line header) to
+// the heap on every call, and the fast path exists to not allocate.
+type chunkScanner struct {
+	line []byte
+	i, n int
+}
+
+func (sc *chunkScanner) rest() []byte { return sc.line[sc.i:] }
+
+func (sc *chunkScanner) skipWS() {
+	for sc.i < sc.n {
+		switch sc.line[sc.i] {
+		case ' ', '\t', '\n', '\r':
+			sc.i++
+		default:
+			return
+		}
+	}
+}
+
+func (sc *chunkScanner) eat(b byte) bool {
+	if sc.i < sc.n && sc.line[sc.i] == b {
+		sc.i++
+		return true
+	}
+	return false
+}
+
+// parseString consumes a canonical string: escape-free, no control
+// bytes (the stdlib rejects raw controls and rewrites invalid UTF-8,
+// so both defer to it).
+func (sc *chunkScanner) parseString() (string, bool) {
+	if !sc.eat('"') {
+		return "", false
+	}
+	start := sc.i
+	for sc.i < sc.n && sc.line[sc.i] != '"' {
+		if sc.line[sc.i] == '\\' || sc.line[sc.i] < 0x20 {
+			return "", false
+		}
+		sc.i++
+	}
+	if sc.i >= sc.n {
+		return "", false
+	}
+	s := sc.line[start:sc.i]
+	sc.i++
+	if !utf8.Valid(s) {
+		return "", false
+	}
+	return string(s), true
 }

@@ -42,6 +42,7 @@ func (c *Client) UploadBatchStream(chunks []BatchChunk, fn func(BatchResult) err
 	// buffer between encoder and pipe amortises the synchronous pipe
 	// handoff over ~tens of lines instead of paying it per chunk.
 	pr, pw := io.Pipe()
+	//mood:allow goroutinejoin -- pipe feeder is request-scoped: the transport closing the request body (pr) unblocks every pw.Write, so the goroutine cannot outlive the call
 	go func() {
 		bw := bufio.NewWriterSize(pw, 64<<10)
 		enc := json.NewEncoder(bw)

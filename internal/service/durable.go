@@ -267,6 +267,7 @@ func (s *Server) finishJob(j *uploadJob, resp UploadResponse, err error) {
 		return
 	}
 	if j.idem != nil {
+		//mood:allow appendapply -- failure path releases the idempotency key so the retry re-executes: nothing was acked, so there is no state to make durable
 		s.idem.complete(j.trace.User, j.idemKey, j.idem, UploadResponse{}, err)
 	}
 	if j.done != nil {

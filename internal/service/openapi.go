@@ -347,6 +347,22 @@ func schemaRef(name string) map[string]any {
 // structs; the schemas are intentionally shallow (objects and their
 // scalar fields) — clients wanting exhaustive typing generate from this
 // document, not from Go.
+// problemCodes enumerates the full error dialect for the Problem
+// schema. Every Code* constant from problem.go must appear here — the
+// problemdialect analyzer cross-checks the two, so a new code cannot
+// ship without being documented.
+func problemCodes() []any {
+	return []any{
+		CodeBadRequest, CodeInvalidUser, CodeUserMismatch, CodeEmptyChunk,
+		CodeInvalidTrace, CodeBadChunk, CodeEmptyBatch, CodeChunkTooLarge,
+		CodeBatchTooLarge, CodeKeyTooLong, CodeKeyReuse, CodeQueueFull,
+		CodeRateLimited, CodeUnauthorized, CodeNotFound, CodeMethodNotAllowed,
+		CodeNotAcceptable, CodeBadCursor, CodeCancelled, CodeShuttingDown,
+		CodeTimeout, CodeInternal, CodeRetrainInProgress, CodeRetrainMissing,
+		CodeStorage,
+	}
+}
+
 func openapiSchemas() map[string]any {
 	obj := func(props map[string]any) map[string]any {
 		return map[string]any{"type": "object", "properties": props}
@@ -367,7 +383,9 @@ func openapiSchemas() map[string]any {
 
 	return map[string]any{
 		"Problem": obj(map[string]any{
-			"type": str, "title": str, "status": integer, "code": str, "detail": str,
+			"type": str, "title": str, "status": integer,
+			"code":   map[string]any{"type": "string", "enum": problemCodes()},
+			"detail": str,
 		}),
 		"LegacyError":    obj(map[string]any{"error": str}),
 		"Record":         record,

@@ -521,6 +521,7 @@ func (s *Server) syncChunk(ctx context.Context, t trace.Trace, key string, idem 
 	if !s.enqueue(ctx, j, block) {
 		if idem != nil {
 			// The job never ran: release the key so the retry executes.
+			//mood:allow appendapply -- shed path: the upload was refused, so releasing the key is the absence of state, not an apply
 			s.idem.complete(t.User, key, idem, UploadResponse{}, errUploadShed)
 		}
 		return shedOutcome()
@@ -578,6 +579,7 @@ func (s *Server) asyncChunk(ctx context.Context, t trace.Trace, key string, idem
 			// stay pollable: mark it failed rather than removing it, and
 			// release the key so the retry re-executes.
 			s.jobs.setFailed(j.ID, errUploadShed)
+			//mood:allow appendapply -- shed path: the upload was refused, so releasing the key is the absence of state, not an apply
 			s.idem.complete(t.User, key, idem, UploadResponse{}, errUploadShed)
 		} else {
 			s.jobs.remove(j.ID)

@@ -156,6 +156,7 @@ func decodeUploadCommit(payload []byte) (walUploadCommit, error) {
 		return c, errWALCommitCorrupt
 	}
 	if payload[0] != walCommitVersion {
+		//mood:allow hotalloc -- cold branch: runs once per corrupt/foreign segment, never on the per-upload path
 		return c, fmt.Errorf("service: upload-commit record version %d unsupported", payload[0])
 	}
 	r := &walReader{b: payload[1:]}
@@ -168,6 +169,9 @@ func decodeUploadCommit(payload []byte) (walUploadCommit, error) {
 	// A fragment is at least 5 bytes; bound before allocating.
 	if r.err != nil || nFrags > uint64(len(r.b))/5 {
 		return c, errWALCommitCorrupt
+	}
+	if nFrags > 0 {
+		c.Frags = make([]persistedFrag, 0, nFrags)
 	}
 	for i := uint64(0); i < nFrags; i++ {
 		var f persistedFrag
