@@ -55,6 +55,9 @@ type AP struct {
 
 	grid     *geo.Grid
 	profiles []apProfile
+	// block is the profile count per cache-resident block of the batch
+	// scan, sized at Train time from the quantized footprint.
+	block int
 }
 
 type apProfile struct {
@@ -63,6 +66,10 @@ type apProfile struct {
 	// profile once, so the Identify scan is pure merge walks with no
 	// per-comparison allocation.
 	slices []*heatmap.Frozen
+	// quant is the float32-quantized companion of slices, also built at
+	// Train time; the batch scans use it to prune provable losers before
+	// touching the exact kernels (see pruneFrozen).
+	quant []*heatmap.Quant
 }
 
 // sliceOf maps a Unix timestamp to its time-of-day slice index.
@@ -138,7 +145,39 @@ func (a *AP) Train(background []trace.Trace) error {
 	if len(a.profiles) == 0 {
 		return fmt.Errorf("attack: AP has no usable profiles")
 	}
+	for pi := range a.profiles {
+		a.profiles[pi].quant = heatmap.QuantizeAll(a.profiles[pi].slices)
+	}
+	a.block = apBlockLen(a.profiles)
 	return nil
+}
+
+// apBlockBytes targets the quantized footprint of one profile block of
+// the batch scan (~half a typical L2 cache): the outer loop holds a
+// block while every trace of the batch streams against it, so the
+// block — not the whole profile set — is what must stay resident.
+const apBlockBytes = 256 << 10
+
+// apBlockLen sizes the profile block from the average quantized
+// profile footprint.
+func apBlockLen(profiles []apProfile) int {
+	if len(profiles) == 0 {
+		return 1
+	}
+	var bytes int
+	for pi := range profiles {
+		for _, q := range profiles[pi].quant {
+			bytes += q.MemBytes()
+		}
+	}
+	n := apBlockBytes / (bytes/len(profiles) + 1)
+	if n < 1 {
+		return 1
+	}
+	if n > len(profiles) {
+		return len(profiles)
+	}
+	return n
 }
 
 // Identify implements Attack. The anonymous trace is frozen once; the
@@ -155,50 +194,132 @@ func (a *AP) Identify(t trace.Trace) Verdict {
 }
 
 // identifyFrozen scans the trained profiles for the smallest weighted
-// divergence to the frozen anonymous slices. A profile is abandoned as
-// soon as its accumulated weighted score can no longer drop below the
-// best seen so far — sound because every divergence term is non-negative
-// (see heatmap.TopsoeBounded) — so the verdict is bit-identical to an
-// exhaustive scan. The loop allocates nothing.
+// divergence to the frozen anonymous slices, folding completed scores
+// through the shared topTwo tracker: ties break toward the lowest user
+// ID and the runner-up score feeds Verdict.Margin. A profile is
+// abandoned as soon as its accumulated weighted score provably reaches
+// the topTwo bound — sound because every divergence term is
+// non-negative (see heatmap.TopsoeBounded) — so the verdict is
+// bit-identical to an exhaustive scan. The loop allocates nothing.
 func (a *AP) identifyFrozen(anon []*heatmap.Frozen) Verdict {
-	best := Verdict{Score: math.Inf(1)}
+	k := newTopTwo()
 	for pi := range a.profiles {
 		p := &a.profiles[pi]
-		// First pass: the total slice weight, so the early-exit bound can
-		// be expressed on the final weighted score d/weight.
-		var weight float64
-		for i, hm := range anon {
-			if hm.Total() == 0 && p.slices[i].Total() == 0 {
-				continue // neither side has data in this slice
-			}
-			w := hm.Total()
-			if w == 0 {
-				w = 1 // profile-only slice: small disagreement weight
-			}
-			weight += w
-		}
-		var d float64
-		for i, hm := range anon {
-			if hm.Total() == 0 && p.slices[i].Total() == 0 {
-				continue
-			}
-			w := hm.Total()
-			if w == 0 {
-				w = 1
-			}
-			d += a.sliceTerm(hm, p.slices[i], w, d, weight, best.Score)
-			if d/weight >= best.Score {
-				break // cannot beat the best profile any more
-			}
-		}
-		if weight > 0 {
-			d /= weight
-		}
-		if d < best.Score {
-			best = Verdict{User: p.user, Score: d, OK: true}
+		if d, ok := a.scoreFrozen(anon, p, k.bound()); ok {
+			k.consider(p.user, d)
 		}
 	}
-	return best
+	return k.verdict()
+}
+
+// scoreFrozen returns the exact weighted divergence between the frozen
+// anonymous slices and profile p, abandoning the merge walks once the
+// final score provably reaches bound. ok reports a completed scan with
+// score < bound; an abandoned scan's partial score is meaningless and
+// discarded by the caller. This is the one exact scoring path shared
+// by the scalar scan, the blocked batch scan and the owner-seeded hit
+// scan — bit-identity between them is by construction.
+func (a *AP) scoreFrozen(anon []*heatmap.Frozen, p *apProfile, bound float64) (float64, bool) {
+	// First pass: the total slice weight, so the early-exit bound can
+	// be expressed on the final weighted score d/weight.
+	var weight float64
+	for i, hm := range anon {
+		if hm.Total() == 0 && p.slices[i].Total() == 0 {
+			continue // neither side has data in this slice
+		}
+		w := hm.Total()
+		if w == 0 {
+			w = 1 // profile-only slice: small disagreement weight
+		}
+		weight += w
+	}
+	var d float64
+	for i, hm := range anon {
+		if hm.Total() == 0 && p.slices[i].Total() == 0 {
+			continue
+		}
+		w := hm.Total()
+		if w == 0 {
+			w = 1
+		}
+		d += a.sliceTerm(hm, p.slices[i], w, d, weight, bound)
+		if d/weight >= bound {
+			return d, false // cannot drop below the bound any more
+		}
+	}
+	if weight > 0 {
+		d /= weight
+	}
+	return d, d < bound
+}
+
+// pruneFrozen reports whether the float32 quantized pass certifies
+// that p's exact weighted score cannot drop below bound, letting the
+// batch scans skip the exact float64 walk entirely. Soundness: a
+// completed quantized slice divergence is within heatmap.QuantTopsoeSlack
+// (resp. QuantL1Slack) of the exact value — enforced with margin by
+// TestQuantSlackSound — so approx−slack lower-bounds each exact term,
+// and only profiles whose accumulated lower bound reaches the caller's
+// bound are pruned. Verdicts come exclusively from exact scans of the
+// survivors: pruning can cost speed, never bits.
+func (a *AP) pruneFrozen(anon []*heatmap.Frozen, quant []*heatmap.Quant, p *apProfile, bound float64) bool {
+	if math.IsInf(bound, 1) {
+		return false
+	}
+	var weight float64
+	for i, hm := range anon {
+		if hm.Total() == 0 && p.slices[i].Total() == 0 {
+			continue
+		}
+		w := hm.Total()
+		if w == 0 {
+			w = 1
+		}
+		weight += w
+	}
+	if weight == 0 {
+		return false
+	}
+	need := bound * weight // prune once the weighted lower bound reaches this
+	var lower float64
+	for i, hm := range anon {
+		if hm.Total() == 0 && p.slices[i].Total() == 0 {
+			continue
+		}
+		w := hm.Total()
+		if w == 0 {
+			w = 1
+		}
+		q, pq := quant[i], p.quant[i]
+		n := q.Cells() + pq.Cells()
+		// rem is the extra slice contribution that would certify the
+		// prune; the quantized walk may exit early once its partial sum
+		// alone reaches slack+rem (in the raw approximation's scale).
+		rem := (need - lower) / w
+		var contrib float64
+		switch a.Divergence {
+		case DivJensenShannon:
+			slack := heatmap.QuantTopsoeSlack(n)
+			ap := float64(q.TopsoeQuantBounded(pq, float32(slack+2*rem)))
+			contrib = (ap - slack) / 2
+		case DivL1:
+			slack := heatmap.QuantL1Slack(n)
+			ap := float64(q.L1QuantBounded(pq, float32(slack+rem)))
+			contrib = ap - slack
+		default:
+			slack := heatmap.QuantTopsoeSlack(n)
+			ap := float64(q.TopsoeQuantBounded(pq, float32(slack+rem)))
+			contrib = ap - slack
+		}
+		if contrib < 0 {
+			contrib = 0 // exact terms are non-negative; keep the bound valid
+		}
+		lower += w * contrib
+		if lower >= need {
+			return true
+		}
+	}
+	return false
 }
 
 // sliceTerm returns one slice's weighted contribution w*distance under
@@ -219,3 +340,125 @@ func (a *AP) sliceTerm(anon, prof *heatmap.Frozen, w, acc, weight, bound float64
 
 // Grid exposes the trained grid (diagnostics).
 func (a *AP) Grid() *geo.Grid { return a.grid }
+
+// apAnon is one anonymous trace of a batch, frozen and quantized once.
+type apAnon struct {
+	slices []*heatmap.Frozen
+	quant  []*heatmap.Quant
+	k      topTwo
+	skip   bool
+}
+
+// IdentifyBatch implements BatchIdentifier: verdicts are bit-identical
+// to per-trace Identify calls (see identifyBatchSpan), with each trace
+// frozen once and the profile scan restructured for cache locality and
+// float32 pruning.
+func (a *AP) IdentifyBatch(ts []trace.Trace) []Verdict {
+	out := make([]Verdict, len(ts))
+	if a.grid == nil {
+		return out
+	}
+	batchSpans(len(ts), func(lo, hi int) { a.identifyBatchSpan(ts, out, lo, hi) })
+	return out
+}
+
+// identifyBatchSpan scans traces [lo, hi) of the batch through the
+// trained profiles in cache-resident blocks: the outer loop walks
+// profile blocks, the inner loop streams every trace of the span
+// against the block while it is hot, and each trace's best-so-far
+// bounds persist across blocks, so later blocks prune harder. The
+// float32 quantized pass rejects most losers without touching the
+// exact kernels; survivors are rescored in exact float64 through the
+// same scoreFrozen as the scalar path, and topTwo's fold is
+// scan-order-independent — so the verdicts are bit-identical to
+// Identify's despite the reordering.
+func (a *AP) identifyBatchSpan(ts []trace.Trace, out []Verdict, lo, hi int) {
+	anons := make([]apAnon, hi-lo)
+	for i := range anons {
+		an := &anons[i]
+		if ts[lo+i].Empty() {
+			an.skip = true
+			continue
+		}
+		an.slices = a.buildSlices(ts[lo+i])
+		an.quant = heatmap.QuantizeAll(an.slices)
+		an.k = newTopTwo()
+	}
+	for bs := 0; bs < len(a.profiles); bs += a.block {
+		be := bs + a.block
+		if be > len(a.profiles) {
+			be = len(a.profiles)
+		}
+		for i := range anons {
+			an := &anons[i]
+			if an.skip {
+				continue
+			}
+			for pi := bs; pi < be; pi++ {
+				p := &a.profiles[pi]
+				bound := an.k.bound()
+				if a.pruneFrozen(an.slices, an.quant, p, bound) {
+					continue
+				}
+				if d, ok := a.scoreFrozen(an.slices, p, bound); ok {
+					an.k.consider(p.user, d)
+				}
+			}
+		}
+	}
+	for i := range anons {
+		if !anons[i].skip {
+			out[lo+i] = anons[i].k.verdict()
+		}
+	}
+}
+
+// hitOne answers "would Identify attribute t to owner" without
+// completing the argmin: the owner's exact score seeds the bound and
+// the scan stops at the first profile that provably beats it under the
+// shared tie rule (lower score, or equal score and smaller user ID).
+// Profiles abandoned or pruned at the nextUp(ownerScore) bound have
+// true scores strictly above the owner's and cannot beat it, so the
+// boolean equals Identify(t).OK && User == owner exactly — at a
+// fraction of the cost when a beater exists.
+func (a *AP) hitOne(t trace.Trace, owner string) bool {
+	if a.grid == nil || t.Empty() {
+		return false
+	}
+	anon := a.buildSlices(t)
+	quant := heatmap.QuantizeAll(anon)
+	// Owner score: the minimum over the owner's profiles (normally
+	// exactly one).
+	so := math.Inf(1)
+	seen := false
+	for pi := range a.profiles {
+		p := &a.profiles[pi]
+		if p.user != owner {
+			continue
+		}
+		if d, ok := a.scoreFrozen(anon, p, math.Inf(1)); ok && d < so {
+			so, seen = d, true
+		}
+	}
+	if !seen {
+		return false
+	}
+	bound := nextUp(so)
+	for pi := range a.profiles {
+		p := &a.profiles[pi]
+		if p.user == owner {
+			continue
+		}
+		if a.pruneFrozen(anon, quant, p, bound) {
+			continue
+		}
+		d, ok := a.scoreFrozen(anon, p, bound)
+		if !ok {
+			continue
+		}
+		if d < so || (d == so && p.user < owner) {
+			return false
+		}
+	}
+	return true
+}

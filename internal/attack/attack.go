@@ -27,6 +27,14 @@ type Verdict struct {
 	// Score is the profile distance of the chosen user (lower = more
 	// confident, scale is attack-specific).
 	Score float64
+	// Margin is the runner-up gap: the second-best profile's score
+	// minus Score, ≥ 0 on the attack's own scale. Large margins mean
+	// confident re-identification — the ordering key for
+	// risk-prioritised re-audits (ROADMAP item 2). It is +Inf when
+	// only one profile produced a score (no runner-up exists; note
+	// +Inf does not survive JSON encoding), and exactly 0 on a tie,
+	// which is broken toward the lowest user ID.
+	Margin float64
 	// OK reports whether the attack produced a verdict. A false OK
 	// counts as a failed re-identification (Eq. 4's Aₖ(T) ≠ U).
 	OK bool

@@ -1,0 +1,285 @@
+package attack
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"mood/internal/poi"
+	"mood/internal/trace"
+)
+
+// Batch identification. The re-audit and retrain loops score many
+// traces against the same frozen profile set; the batch entry points
+// here restructure that work without changing a single verdict bit:
+//
+//   - each attack freezes (or POI-extracts) every anonymous trace of
+//     the batch exactly once, instead of once per Identify call;
+//   - the AP scan goes profile-major in cache-resident blocks, with a
+//     float32 quantized pruning pass (heatmap.Quant) ahead of the
+//     exact float64 kernels;
+//   - the audit question "does any profile beat the owner's" is
+//     answered by an owner-seeded scan that stops at the first beating
+//     profile instead of completing the argmin;
+//   - one POI extraction feeds both the POI- and PIT-attacks when
+//     their extractor configs match.
+//
+// Bit-identity rests on two facts proven in topTwo's comment: the
+// early-exit bound nextUp(second-best) lets every profile that could
+// win or tie complete its exact scan, and the (best, user, second)
+// fold is then independent of scan order — so reordering profiles into
+// blocks, or conservatively skipping provable losers, cannot change
+// the verdict. The property tests in batch_test.go enforce this on
+// random and adversarially tied data.
+
+// nextUp returns the smallest float64 greater than x.
+func nextUp(x float64) float64 { return math.Nextafter(x, math.Inf(1)) }
+
+// topTwo folds completed exact profile scores into the best and
+// second-best seen, with the explicit tie rule shared by the scalar
+// and batch paths: on an exact score tie the lexicographically
+// smallest user ID wins. Before this rule, ties fell to background
+// insertion order — an order a profile-major batch scan reshuffles.
+//
+// bound() is the early-exit threshold handed to the exact kernels:
+// nextUp(second) rather than second itself, so a profile whose true
+// score equals the current second-best still completes its scan and
+// reaches the tie-break (every kernel's partial sums are monotone
+// non-negative, so a completed scan below the bound is exact and an
+// abandoned one had a true score above second). Consequently the final
+// (user, best, second) triple equals the true minimum, the smallest
+// user among its ties, and the true second-smallest score — whatever
+// order profiles were offered in, and however many provable losers a
+// pruning pass withheld.
+type topTwo struct {
+	user   string
+	best   float64
+	second float64
+	ok     bool
+}
+
+func newTopTwo() topTwo {
+	return topTwo{best: math.Inf(1), second: math.Inf(1)}
+}
+
+// bound is the score at which a profile scan may abandon: reaching it
+// means the profile can neither win nor tighten the runner-up.
+func (k *topTwo) bound() float64 { return nextUp(k.second) }
+
+// consider folds one completed exact score in.
+func (k *topTwo) consider(user string, score float64) {
+	switch {
+	case !k.ok:
+		k.user, k.best, k.ok = user, score, true
+	case score < k.best || (score == k.best && user < k.user):
+		k.second = k.best
+		k.user, k.best = user, score
+	case score < k.second:
+		k.second = score
+	}
+}
+
+// verdict renders the fold as a Verdict. Margin is +Inf when no second
+// profile completed a scan (see Verdict.Margin).
+func (k *topTwo) verdict() Verdict {
+	if !k.ok {
+		return Verdict{}
+	}
+	return Verdict{User: k.user, Score: k.best, Margin: k.second - k.best, OK: true}
+}
+
+// batchSpans fans [0, n) across GOMAXPROCS-bounded workers in
+// contiguous spans. Deterministic despite the parallelism: each worker
+// writes only its own output slots, so results are position-stable.
+func batchSpans(n int, f func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(w*n/workers, (w+1)*n/workers)
+	}
+	wg.Wait()
+}
+
+// BatchIdentifier is implemented by attacks with a batch-optimized
+// scan; BatchIdentify falls back to parallel scalar calls for attacks
+// without one.
+type BatchIdentifier interface {
+	Attack
+	// IdentifyBatch returns, for every trace, the same Verdict a
+	// scalar Identify call would — bit-identical in user, score and
+	// margin.
+	IdentifyBatch(ts []trace.Trace) []Verdict
+}
+
+// poiCache shares one POI extraction per trace across the attacks of a
+// batch pass: POIAttack and PIT are built on the same clustering, so
+// when their extractor configs match the extraction runs once, not
+// twice. A second distinct config resets the cache — sets mix at most
+// a handful of attacks.
+type poiCache struct {
+	ts   []trace.Trace
+	e    poi.Extractor
+	ok   bool
+	pois [][]poi.POI
+	done []bool
+}
+
+// extract returns the POIs of every trace named in idxs (indices into
+// c.ts), extracting missing entries in parallel.
+func (c *poiCache) extract(e poi.Extractor, idxs []int) [][]poi.POI {
+	if !c.ok || c.e != e {
+		c.e, c.ok = e, true
+		c.pois = make([][]poi.POI, len(c.ts))
+		c.done = make([]bool, len(c.ts))
+	}
+	todo := make([]int, 0, len(idxs))
+	for _, i := range idxs {
+		if !c.done[i] {
+			todo = append(todo, i)
+		}
+	}
+	batchSpans(len(todo), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			i := todo[j]
+			c.pois[i] = c.e.Extract(c.ts[i])
+			c.done[i] = true
+		}
+	})
+	return c.pois
+}
+
+// BatchIdentify scores every trace against every attack of the set
+// with the batch kernels: out[ai][ti] is bit-identical to
+// s[ai].Identify(ts[ti]). One POI extraction is shared between the
+// POI- and PIT-attacks when their extractor configs match.
+func BatchIdentify(s Set, ts []trace.Trace) [][]Verdict {
+	out := make([][]Verdict, len(s))
+	cache := poiCache{ts: ts}
+	all := make([]int, len(ts))
+	for i := range all {
+		all[i] = i
+	}
+	for ai, atk := range s {
+		switch a := atk.(type) {
+		case *AP:
+			out[ai] = a.IdentifyBatch(ts)
+		case *POIAttack:
+			if !a.scans() {
+				out[ai] = make([]Verdict, len(ts))
+				continue
+			}
+			out[ai] = a.identifyBatchPOIs(cache.extract(a.Extractor, all))
+		case *PIT:
+			if !a.scans() {
+				out[ai] = make([]Verdict, len(ts))
+				continue
+			}
+			out[ai] = a.identifyBatchPOIs(cache.extract(a.Extractor, all), ts)
+		case BatchIdentifier:
+			out[ai] = a.IdentifyBatch(ts)
+		default:
+			vs := make([]Verdict, len(ts))
+			batchSpans(len(ts), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					vs[i] = atk.Identify(ts[i])
+				}
+			})
+			out[ai] = vs
+		}
+	}
+	return out
+}
+
+// ReIdent is one (trace, user) pair's outcome of a batch
+// re-identification audit: Hit mirrors Set.ReIdentifies' boolean and
+// Attack names the first attack (in set order) that linked the trace.
+type ReIdent struct {
+	Hit    bool
+	Attack string
+}
+
+// ReIdentifiesBatch answers Set.ReIdentifies for many (trace, user)
+// pairs in one pass, bit-identical pair by pair: attacks run in set
+// order and a trace leaves the batch at its first hit, so the per-pair
+// short-circuit semantics — and the work skipped by it — match the
+// scalar predicate. Within each attack the batch wins three ways: one
+// freeze/extraction per trace, the owner-seeded hit scans, and the
+// shared POI extraction (see the package comment above).
+func (s Set) ReIdentifiesBatch(ts []trace.Trace, users []string) []ReIdent {
+	out := make([]ReIdent, len(ts))
+	cache := poiCache{ts: ts}
+	remaining := make([]int, len(ts))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for _, atk := range s {
+		if len(remaining) == 0 {
+			break
+		}
+		hits := make([]bool, len(remaining))
+		switch a := atk.(type) {
+		case *AP:
+			batchSpans(len(remaining), func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					i := remaining[j]
+					hits[j] = a.hitOne(ts[i], users[i])
+				}
+			})
+		case *POIAttack:
+			if !a.scans() {
+				break
+			}
+			ps := cache.extract(a.Extractor, remaining)
+			batchSpans(len(remaining), func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					i := remaining[j]
+					hits[j] = a.hitPOIs(ps[i], users[i])
+				}
+			})
+		case *PIT:
+			if !a.scans() {
+				break
+			}
+			ps := cache.extract(a.Extractor, remaining)
+			batchSpans(len(remaining), func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					i := remaining[j]
+					hits[j] = a.hitChain(a.buildChain(ps[i], ts[i]), users[i])
+				}
+			})
+		default:
+			batchSpans(len(remaining), func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					i := remaining[j]
+					v := atk.Identify(ts[i])
+					hits[j] = v.OK && v.User == users[i]
+				}
+			})
+		}
+		name := atk.Name()
+		next := remaining[:0]
+		for j, i := range remaining {
+			if hits[j] {
+				out[i] = ReIdent{Hit: true, Attack: name}
+			} else {
+				next = append(next, i)
+			}
+		}
+		remaining = next
+	}
+	return out
+}

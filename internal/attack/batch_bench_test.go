@@ -1,0 +1,86 @@
+package attack
+
+import (
+	"testing"
+
+	"mood/internal/synth"
+	"mood/internal/trace"
+)
+
+// benchBatchEnv builds a many-profile workload: with only a handful of
+// users the per-trace freeze dominates Identify and batching has little
+// to bite on, so the batch benchmarks train against a large population
+// where the O(profiles) scan is the cost that matters — the regime the
+// audit pass and the dynamic-protection oracle actually run in.
+func benchBatchEnv(b *testing.B, users, traces int) (Set, []trace.Trace, []string) {
+	b.Helper()
+	cfg := synth.PrivamovLike(synth.ScaleTiny, 11)
+	cfg.NumUsers = users
+	cfg.Days = 8
+	cfg.DriftFraction = 0
+	d, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test := d.SplitTrainTest(0.5, 20)
+	atks := Set{NewAP(), NewPOIAttack(), NewPIT()}
+	if err := TrainAll(atks, train.Traces); err != nil {
+		b.Fatal(err)
+	}
+	if test.NumUsers() == 0 {
+		b.Fatal("no test users")
+	}
+	ts := make([]trace.Trace, 0, traces)
+	owners := make([]string, 0, traces)
+	for len(ts) < traces {
+		tr := test.Traces[len(ts)%len(test.Traces)]
+		ts = append(ts, tr.WithUser(""))
+		owners = append(owners, tr.User)
+	}
+	return atks, ts, owners
+}
+
+// BenchmarkBatchIdentify compares the scalar and batched identification
+// paths on the workloads BENCH_batch.json records: "AP" is raw
+// identification throughput (one verdict per trace), "audit" is the
+// service-tier re-audit predicate (first-hit-wins across the full
+// attack set, owner-seeded in the batch path). The scalar variants loop
+// the public one-trace APIs exactly as the audit pass did before
+// batching.
+func BenchmarkBatchIdentify(b *testing.B) {
+	atks, ts, owners := benchBatchEnv(b, 192, 64)
+	ap := atks[0].(*AP)
+
+	b.Run("AP/scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, tr := range ts {
+				ap.Identify(tr)
+			}
+		}
+	})
+	b.Run("AP/batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if vs := ap.IdentifyBatch(ts); len(vs) != len(ts) {
+				b.Fatal("short batch")
+			}
+		}
+	})
+	b.Run("audit/scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, tr := range ts {
+				atks.ReIdentifies(tr, owners[j])
+			}
+		}
+	})
+	b.Run("audit/batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rs := atks.ReIdentifiesBatch(ts, owners); len(rs) != len(ts) {
+				b.Fatal("short batch")
+			}
+		}
+	})
+}

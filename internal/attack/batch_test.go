@@ -1,0 +1,209 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"mood/internal/trace"
+)
+
+// verdictsEq demands bit-identical verdicts: float fields are compared
+// by their IEEE bit patterns, so a batch kernel that drifts by even one
+// ulp from the scalar path fails loudly.
+func verdictsEq(a, b Verdict) bool {
+	return a.User == b.User &&
+		math.Float64bits(a.Score) == math.Float64bits(b.Score) &&
+		math.Float64bits(a.Margin) == math.Float64bits(b.Margin) &&
+		a.OK == b.OK
+}
+
+// batchCandidates assembles the anonymous workload for the equivalence
+// tests: every test trace stripped of its user label, plus the edge
+// cases the scalar path handles specially — an empty trace and a trace
+// with support disjoint from every profile.
+func batchCandidates(test trace.Dataset) []trace.Trace {
+	ts := make([]trace.Trace, 0, len(test.Traces)+2)
+	for _, tr := range test.Traces {
+		ts = append(ts, tr.WithUser(""))
+	}
+	ts = append(ts, trace.Trace{})
+	far := make([]trace.Record, 0, 24)
+	for h := 0; h < 24; h++ {
+		far = append(far, trace.Record{Lat: -33.9, Lon: 151.2, TS: int64(h) * 3600})
+	}
+	ts = append(ts, trace.New("", far))
+	return ts
+}
+
+// TestBatchMatchesScalarBitIdentical is the batch layer's core
+// contract: for every attack, IdentifyBatch over a mixed workload —
+// realistic anonymous traces, an empty trace, a disjoint-support trace
+// — returns verdicts bit-identical to trace-at-a-time Identify, and
+// BatchIdentify over the whole set agrees with both. The float32 prune
+// therefore only ever skips work, never changes an answer.
+func TestBatchMatchesScalarBitIdentical(t *testing.T) {
+	for _, seed := range []uint64{11, 29, 47} {
+		train, test := testSplit(t, seed)
+		atks := allAttacks()
+		for _, a := range atks {
+			if err := a.Train(train.Traces); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts := batchCandidates(test)
+
+		perAttack := make([][]Verdict, len(atks))
+		for ai, a := range atks {
+			ba, ok := a.(BatchIdentifier)
+			if !ok {
+				t.Fatalf("%s does not implement BatchIdentifier", a.Name())
+			}
+			got := ba.IdentifyBatch(ts)
+			if len(got) != len(ts) {
+				t.Fatalf("%s: IdentifyBatch returned %d verdicts for %d traces", a.Name(), len(got), len(ts))
+			}
+			for i, tr := range ts {
+				want := a.Identify(tr)
+				if !verdictsEq(got[i], want) {
+					t.Fatalf("seed %d, %s, trace %d: batch verdict %+v != scalar %+v",
+						seed, a.Name(), i, got[i], want)
+				}
+			}
+			perAttack[ai] = got
+		}
+
+		for ai, vs := range BatchIdentify(atks, ts) {
+			for i := range ts {
+				if !verdictsEq(vs[i], perAttack[ai][i]) {
+					t.Fatalf("seed %d, %s, trace %d: BatchIdentify verdict %+v != IdentifyBatch %+v",
+						seed, atks[ai].Name(), i, vs[i], perAttack[ai][i])
+				}
+			}
+		}
+	}
+}
+
+// dwellTrace builds a trace that dwells three hours at each point in
+// turn (one record every ten minutes), long and stationary enough for
+// the default POI extractor (200 m, 1 h) to see every point as a POI
+// and for the PIT chain to observe the transitions between them.
+func dwellTrace(user string, pts [][2]float64) trace.Trace {
+	var recs []trace.Record
+	ts := int64(0)
+	for _, p := range pts {
+		for i := 0; i < 18; i++ {
+			recs = append(recs, trace.Record{Lat: p[0], Lon: p[1], TS: ts})
+			ts += 600
+		}
+	}
+	return trace.New(user, recs)
+}
+
+// TestTieBreaksTowardLowestUserID pins the determinism bugfix: two
+// users with byte-for-byte identical training data score identically
+// against an anonymous copy of that data, and both the scalar and the
+// batch path must resolve the tie to the lexicographically smallest
+// user ID with a Margin of exactly zero — regardless of profile
+// insertion order ("ub" is trained before "ua" on purpose). A third,
+// far-away user gives the batch prune a profile to reject.
+func TestTieBreaksTowardLowestUserID(t *testing.T) {
+	home := [][2]float64{{45.00, 5.00}, {45.02, 5.00}, {45.00, 5.00}, {45.02, 5.00}}
+	background := []trace.Trace{
+		dwellTrace("ub", home),
+		dwellTrace("ua", home),
+		dwellTrace("uc", [][2]float64{{46.5, 6.5}, {46.52, 6.5}, {46.5, 6.5}, {46.52, 6.5}}),
+	}
+	anon := dwellTrace("", home)
+
+	for _, a := range allAttacks() {
+		if err := a.Train(background); err != nil {
+			t.Fatal(err)
+		}
+		scalar := a.Identify(anon)
+		if !scalar.OK {
+			t.Fatalf("%s produced no verdict on its own training data", a.Name())
+		}
+		if scalar.User != "ua" {
+			t.Fatalf("%s broke the tie toward %q, want lowest user ID \"ua\"", a.Name(), scalar.User)
+		}
+		if scalar.Margin != 0 {
+			t.Fatalf("%s reported Margin %g on an exact tie, want 0", a.Name(), scalar.Margin)
+		}
+		batch := a.(BatchIdentifier).IdentifyBatch([]trace.Trace{anon})
+		if !verdictsEq(batch[0], scalar) {
+			t.Fatalf("%s: batch tie verdict %+v != scalar %+v", a.Name(), batch[0], scalar)
+		}
+	}
+}
+
+// TestMarginSeparatesRunnerUp sanity-checks the new Verdict field on a
+// non-tied workload: a verdict's Margin is non-negative, and +Inf only
+// when there is a single candidate profile.
+func TestMarginSeparatesRunnerUp(t *testing.T) {
+	train, test := testSplit(t, 31)
+	atks := allAttacks()
+	for _, a := range atks {
+		if err := a.Train(train.Traces); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sawFinite := false
+	for _, a := range atks {
+		for _, tr := range test.Traces {
+			v := a.Identify(tr.WithUser(""))
+			if !v.OK {
+				continue
+			}
+			if v.Margin < 0 || math.IsNaN(v.Margin) {
+				t.Fatalf("%s: Margin %g out of range on %q", a.Name(), v.Margin, tr.User)
+			}
+			if !math.IsInf(v.Margin, 1) {
+				sawFinite = true
+			}
+		}
+	}
+	if !sawFinite {
+		t.Fatal("no finite Margin observed across the whole workload")
+	}
+}
+
+// TestReIdentifiesBatchMatchesScalar checks the audit-facing predicate:
+// for mixed (trace, claimed-owner) pairs — true owners and wrong owners
+// interleaved — the batched pass returns exactly the scalar
+// ReIdentifies answer pair by pair, including which attack hit first.
+func TestReIdentifiesBatchMatchesScalar(t *testing.T) {
+	for _, seed := range []uint64{17, 53} {
+		train, test := testSplit(t, seed)
+		atks := allAttacks()
+		for _, a := range atks {
+			if err := a.Train(train.Traces); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var ts []trace.Trace
+		var owners []string
+		for i, tr := range test.Traces {
+			ts = append(ts, tr.WithUser(""))
+			owners = append(owners, tr.User)
+			// Same trace again, claimed by a different user: must miss
+			// unless the attacks genuinely confuse the two.
+			ts = append(ts, tr.WithUser(""))
+			owners = append(owners, test.Traces[(i+1)%len(test.Traces)].User)
+		}
+		ts = append(ts, trace.Trace{})
+		owners = append(owners, "nobody")
+
+		got := atks.ReIdentifiesBatch(ts, owners)
+		if len(got) != len(ts) {
+			t.Fatalf("ReIdentifiesBatch returned %d results for %d pairs", len(got), len(ts))
+		}
+		for i := range ts {
+			hit, name := atks.ReIdentifies(ts[i], owners[i])
+			if got[i].Hit != hit || got[i].Attack != name {
+				t.Fatalf("seed %d, pair %d (owner %q): batch (%v, %q) != scalar (%v, %q)",
+					seed, i, owners[i], got[i].Hit, got[i].Attack, hit, name)
+			}
+		}
+	}
+}

@@ -62,28 +62,98 @@ func (a *PIT) Train(background []trace.Trace) error {
 	return nil
 }
 
+// scans reports whether Identify can ever produce a verdict.
+func (a *PIT) scans() bool { return a.trained && len(a.profiles) > 0 }
+
 // Identify implements Attack.
 func (a *PIT) Identify(t trace.Trace) Verdict {
-	if !a.trained || len(a.profiles) == 0 {
+	if !a.scans() {
 		return Verdict{}
 	}
-	c := mmc.Build(a.Extractor, t)
+	return a.identifyChain(mmc.Build(a.Extractor, t))
+}
+
+// identifyChain is the profile scan over the anonymous chain, shared
+// by the scalar and batch paths. The chain's stationary distribution
+// is fixed across the scan; computing it once and abandoning profiles
+// whose stationary part alone exceeds the topTwo bound keeps the loop
+// cheap without changing the argmin. Completed distances fold through
+// topTwo: ties break toward the lowest user ID and the runner-up feeds
+// Verdict.Margin.
+func (a *PIT) identifyChain(c mmc.Chain) Verdict {
 	if c.Empty() {
 		return Verdict{}
 	}
-	// The anonymous chain's stationary distribution is fixed across the
-	// scan; computing it once and abandoning profiles whose stationary
-	// part alone exceeds the best score keeps the loop cheap without
-	// changing the argmin.
 	stat := c.Stationary()
-	best := Verdict{Score: math.Inf(1)}
-	for _, p := range a.profiles {
-		if d := mmc.StatsProxBounded(c, p.chain, stat, p.stat, best.Score); d < best.Score {
-			best = Verdict{User: p.user, Score: d, OK: true}
+	k := newTopTwo()
+	for pi := range a.profiles {
+		p := &a.profiles[pi]
+		bound := k.bound()
+		if d := mmc.StatsProxBounded(c, p.chain, stat, p.stat, bound); d < bound {
+			k.consider(p.user, d)
 		}
 	}
-	if math.IsInf(best.Score, 1) {
-		return Verdict{}
+	return k.verdict()
+}
+
+// buildChain builds the anonymous chain from pre-extracted POIs — the
+// Set-level batch paths extract once and share with the POI-attack.
+func (a *PIT) buildChain(pois []poi.POI, t trace.Trace) mmc.Chain {
+	return mmc.BuildFromPOIs(a.Extractor, pois, t)
+}
+
+// IdentifyBatch implements BatchIdentifier: one POI extraction and one
+// chain build per trace, fanned out across cores.
+func (a *PIT) IdentifyBatch(ts []trace.Trace) []Verdict {
+	if !a.scans() {
+		return make([]Verdict, len(ts))
 	}
-	return best
+	return a.identifyBatchPOIs(extractPOIs(a.Extractor, ts), ts)
+}
+
+// identifyBatchPOIs scans traces with pre-extracted POIs in parallel.
+func (a *PIT) identifyBatchPOIs(pois [][]poi.POI, ts []trace.Trace) []Verdict {
+	out := make([]Verdict, len(ts))
+	batchSpans(len(ts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = a.identifyChain(a.buildChain(pois[i], ts[i]))
+		}
+	})
+	return out
+}
+
+// hitChain is the owner-seeded audit scan: does Identify attribute the
+// trace behind chain c to owner? See AP.hitOne for the argument; the
+// structure is identical with StatsProxBounded as the exact scorer.
+func (a *PIT) hitChain(c mmc.Chain, owner string) bool {
+	if !a.scans() || c.Empty() {
+		return false
+	}
+	stat := c.Stationary()
+	so := math.Inf(1)
+	seen := false
+	for pi := range a.profiles {
+		p := &a.profiles[pi]
+		if p.user != owner {
+			continue
+		}
+		if d := mmc.StatsProxBounded(c, p.chain, stat, p.stat, math.Inf(1)); d < so {
+			so, seen = d, true
+		}
+	}
+	if !seen {
+		return false
+	}
+	bound := nextUp(so)
+	for pi := range a.profiles {
+		p := &a.profiles[pi]
+		if p.user == owner {
+			continue
+		}
+		d := mmc.StatsProxBounded(c, p.chain, stat, p.stat, bound)
+		if d < bound && (d < so || (d == so && p.user < owner)) {
+			return false
+		}
+	}
+	return true
 }

@@ -61,23 +61,104 @@ func (a *POIAttack) Train(background []trace.Trace) error {
 	return nil
 }
 
+// scans reports whether Identify can ever produce a verdict.
+func (a *POIAttack) scans() bool { return a.trained && len(a.profiles) > 0 }
+
 // Identify implements Attack.
 func (a *POIAttack) Identify(t trace.Trace) Verdict {
-	if !a.trained || len(a.profiles) == 0 {
+	if !a.scans() {
 		return Verdict{}
 	}
-	pois := a.Extractor.Extract(t)
+	return a.identifyPOIs(a.Extractor.Extract(t))
+}
+
+// identifyPOIs is the profile scan over pre-extracted anonymous POIs,
+// shared by the scalar and batch paths. Completed distances fold
+// through topTwo: ties break toward the lowest user ID (not profile
+// insertion order) and the runner-up feeds Verdict.Margin.
+func (a *POIAttack) identifyPOIs(pois []poi.POI) Verdict {
 	if len(pois) == 0 {
 		return Verdict{}
 	}
 	weights := poi.Weights(pois)
-	best := Verdict{Score: math.Inf(1)}
-	for _, p := range a.profiles {
-		if d := poiSetDistance(pois, weights, p.pois, best.Score); d < best.Score {
-			best = Verdict{User: p.user, Score: d, OK: true}
+	k := newTopTwo()
+	for pi := range a.profiles {
+		p := &a.profiles[pi]
+		bound := k.bound()
+		if d := poiSetDistance(pois, weights, p.pois, bound); d < bound {
+			k.consider(p.user, d)
 		}
 	}
-	return best
+	return k.verdict()
+}
+
+// IdentifyBatch implements BatchIdentifier: POIs are extracted once
+// per trace — in parallel, and shared with the PIT-attack by
+// Set-level batch entry points when the extractor configs match.
+func (a *POIAttack) IdentifyBatch(ts []trace.Trace) []Verdict {
+	if !a.scans() {
+		return make([]Verdict, len(ts))
+	}
+	return a.identifyBatchPOIs(extractPOIs(a.Extractor, ts))
+}
+
+// identifyBatchPOIs scans pre-extracted POI sets in parallel spans.
+func (a *POIAttack) identifyBatchPOIs(pois [][]poi.POI) []Verdict {
+	out := make([]Verdict, len(pois))
+	batchSpans(len(pois), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = a.identifyPOIs(pois[i])
+		}
+	})
+	return out
+}
+
+// hitPOIs is the owner-seeded audit scan: does Identify attribute a
+// trace with these POIs to owner? See AP.hitOne for the argument; the
+// structure is identical with poiSetDistance as the exact scorer.
+func (a *POIAttack) hitPOIs(pois []poi.POI, owner string) bool {
+	if !a.scans() || len(pois) == 0 {
+		return false
+	}
+	weights := poi.Weights(pois)
+	so := math.Inf(1)
+	seen := false
+	for pi := range a.profiles {
+		p := &a.profiles[pi]
+		if p.user != owner {
+			continue
+		}
+		if d := poiSetDistance(pois, weights, p.pois, math.Inf(1)); d < so {
+			so, seen = d, true
+		}
+	}
+	if !seen {
+		return false
+	}
+	bound := nextUp(so)
+	for pi := range a.profiles {
+		p := &a.profiles[pi]
+		if p.user == owner {
+			continue
+		}
+		d := poiSetDistance(pois, weights, p.pois, bound)
+		if d < bound && (d < so || (d == so && p.user < owner)) {
+			return false
+		}
+	}
+	return true
+}
+
+// extractPOIs runs e.Extract over every trace in parallel; the result
+// feeds the POI- and PIT-batch scans.
+func extractPOIs(e poi.Extractor, ts []trace.Trace) [][]poi.POI {
+	out := make([][]poi.POI, len(ts))
+	batchSpans(len(ts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = e.Extract(ts[i])
+		}
+	})
+	return out
 }
 
 // poiSetDistance is the weighted mean distance from each anonymous POI

@@ -197,12 +197,22 @@ func RunDynamic(cfg DynamicConfig) ([]RoundResult, error) {
 		}
 
 		rr := RoundResult{Round: r.Index, Users: slice.NumUsers(), DataLoss: core.DataLoss(results)}
+		// Leak counting goes through the batch audit predicate — one
+		// profile-major pass over every piece of the round instead of a
+		// full profile walk per piece — which is bit-identical to the
+		// scalar oracle.ReIdentifies pair by pair.
+		var pieces []trace.Trace
+		var owners []string
 		for _, r := range results {
 			for _, p := range r.Pieces {
 				rr.Pieces++
-				if hit, _ := oracle.ReIdentifies(p.Trace.WithUser(""), r.User); hit {
-					rr.Leaks++
-				}
+				pieces = append(pieces, p.Trace.WithUser(""))
+				owners = append(owners, r.User)
+			}
+		}
+		for _, ri := range oracle.ReIdentifiesBatch(pieces, owners) {
+			if ri.Hit {
+				rr.Leaks++
 			}
 		}
 		out = append(out, rr)

@@ -271,10 +271,14 @@ func runDataset(cfg Config, name string, concurrent bool) (DatasetEval, error) {
 		TestRecords: test.NumRecords(),
 		AttackHits:  make(map[string]int, len(atks)),
 	}
-	for _, tr := range test.Traces {
-		for _, a := range atks {
-			if v := a.Identify(tr); v.OK && v.User == tr.User {
-				de.AttackHits[a.Name()]++
+	// The attack-hit matrix runs through the batch kernels (verdicts
+	// are bit-identical to scalar Identify calls — the golden test
+	// pins the full report bytes).
+	for ai, vs := range attack.BatchIdentify(atks, test.Traces) {
+		name := atks[ai].Name()
+		for ti, v := range vs {
+			if v.OK && v.User == test.Traces[ti].User {
+				de.AttackHits[name]++
 			}
 		}
 	}

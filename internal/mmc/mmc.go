@@ -30,7 +30,14 @@ type Chain struct {
 // empty chain (States == nil) when no POIs can be extracted — callers
 // treat that as "no profile".
 func Build(e poi.Extractor, t trace.Trace) Chain {
-	pois := e.Extract(t)
+	return BuildFromPOIs(e, e.Extract(t), t)
+}
+
+// BuildFromPOIs constructs the MMC over POIs already extracted from t
+// with e's parameters. The batch identification layer extracts POIs
+// once per trace and shares them between the POI- and PIT-attacks;
+// Build(e, t) is exactly BuildFromPOIs(e, e.Extract(t), t).
+func BuildFromPOIs(e poi.Extractor, pois []poi.POI, t trace.Trace) Chain {
 	if len(pois) == 0 {
 		return Chain{}
 	}

@@ -5,6 +5,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"mood/internal/attack"
+	"mood/internal/trace"
 )
 
 // The re-audit pass: after a retrain swaps fresh attacks in, every
@@ -20,71 +23,147 @@ import (
 // the condemned fragments by their Seq handle. An upload that loaded
 // the pre-swap engine and commits after this pass snapshotted its shard
 // is caught by the commit path itself: runJob notices the epoch changed
-// under it and re-audits its own fragments against the current auditor. Removal by seq is idempotent, so the two paths can
-// overlap freely; Retrain serialises full passes against each other.
+// under it and re-audits its own fragments against the current auditor.
+// Removal by seq is idempotent, so the two paths can overlap freely;
+// Retrain serialises full passes against each other.
+//
+// Judging is batched: the whole pass — all shards — is assembled into
+// one task list and handed to the auditor's batch predicate (one
+// profile-major scan per attack over every fragment, see
+// attack.Set.ReIdentifiesBatch) or, for plain scalar auditors, to a
+// single worker pool. The previous shape spun up one pool and re-froze
+// every fragment's trace three times per shard.
+
+// auditTask couples a fragment snapshot with the shard it lives in.
+type auditTask struct {
+	sh   *stateShard
+	frag publishedFrag
+}
 
 // auditPublished re-checks every published fragment with a known owner
 // and quarantines the vulnerable ones. It returns how many fragments
 // were audited and how many were pulled.
 func (s *Server) auditPublished(a Auditor) (audited, quarantined int) {
+	var tasks []auditTask
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		frags := make([]publishedFrag, len(sh.published))
-		copy(frags, sh.published)
+		for _, f := range sh.published {
+			if f.Owner != "" {
+				tasks = append(tasks, auditTask{sh: sh, frag: f})
+			}
+		}
 		sh.mu.Unlock()
-		aud, quar := s.auditFrags(sh, a, frags)
-		audited += aud
-		quarantined += quar
 	}
-	return audited, quarantined
+	return s.auditTasks(a, tasks)
 }
 
 // auditShardFrags re-audits specific fragments (by seq) of one shard —
 // the commit path uses it for fragments that raced an engine swap.
-// Fragments already removed by a concurrent pass are skipped.
+// Fragments already removed by a concurrent pass are skipped, as are
+// fragments without an owner (legacy snapshots), which cannot be
+// judged.
 func (s *Server) auditShardFrags(sh *stateShard, a Auditor, seqs []int64) (audited, quarantined int) {
 	want := make(map[int64]bool, len(seqs))
 	for _, q := range seqs {
 		want[q] = true
 	}
 	sh.mu.Lock()
-	var frags []publishedFrag
+	var tasks []auditTask
 	for _, f := range sh.published {
-		if want[f.Seq] {
-			frags = append(frags, f)
+		if want[f.Seq] && f.Owner != "" {
+			tasks = append(tasks, auditTask{sh: sh, frag: f})
 		}
 	}
 	sh.mu.Unlock()
-	return s.auditFrags(sh, a, frags)
+	return s.auditTasks(a, tasks)
 }
 
-// auditFrags evaluates the given fragments of one shard outside the
-// lock, then removes the condemned ones and updates the quarantine
-// accounting. Fragments without an owner (legacy snapshots) cannot be
-// judged and are left alone. Evaluation is the expensive part (three
-// attacks per fragment) and each fragment is independent, so it fans
-// out across cores — the same shape as core's parallel protectEach.
-func (s *Server) auditFrags(sh *stateShard, a Auditor, frags []publishedFrag) (audited, quarantined int) {
-	todo := frags[:0:0]
-	for _, f := range frags {
-		if f.Owner != "" {
-			todo = append(todo, f)
-		}
-	}
-	audited = len(todo)
+// auditTasks judges every fragment in one pass, then removes the
+// condemned ones and updates the quarantine accounting. One quarantine
+// WAL record covers the whole pass (replayQuarantine removes by seq
+// across all shards).
+func (s *Server) auditTasks(a Auditor, tasks []auditTask) (audited, quarantined int) {
+	audited = len(tasks)
 	if audited == 0 {
 		return 0, 0
 	}
+	hits := s.judgeTasks(a, tasks)
 
-	condemned := make(map[int64]bool)
+	condemned := make(map[*stateShard]map[int64]bool)
+	seqs := make([]int64, 0, len(tasks))
+	for i, t := range tasks {
+		if !hits[i] {
+			continue
+		}
+		m := condemned[t.sh]
+		if m == nil {
+			m = make(map[int64]bool)
+			condemned[t.sh] = m
+		}
+		m[t.frag.Seq] = true
+		seqs = append(seqs, t.frag.Seq)
+	}
+	if len(seqs) == 0 {
+		return audited, 0
+	}
+
+	// Log the quarantine and apply it under one read-hold of the
+	// consistency barrier, so a checkpoint cannot capture the removal
+	// while the record that justifies it is still unwritten. The record
+	// is best-effort (a lost quarantine re-derives on the next audit
+	// pass), so a poisoned store does not block the removal itself —
+	// but the refusal is recorded in the persistence health rather than
+	// swallowed (see noteAppend).
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	s.storeGate.RLock()
+	defer s.storeGate.RUnlock()
+	if s.store != nil {
+		rec, err := encodeRec(recQuarantine, walQuarantine{Seqs: seqs})
+		if err == nil {
+			err = s.store.Append(rec)
+		}
+		s.noteAppend(err)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		c := condemned[sh]
+		if len(c) == 0 {
+			continue
+		}
+		//mood:allow appendapply -- quarantine WAL record above is advisory by contract: a crash before it lands re-runs the audit on recovery, which re-condemns the same fragments
+		quarantined += s.removeCondemned(sh, c)
+	}
+	return audited, quarantined
+}
+
+// judgeTasks evaluates the protection predicate for every fragment of
+// the pass. The published label is a pseudonym; the attacks judge the
+// anonymous trace against the true owner, as in eval.RunDynamic's
+// oracle. Batch-capable auditors (mood.Pipeline, attack.Set) judge the
+// whole pass in one call; plain Auditors fan out across a single
+// worker pool — the same shape as core's parallel protectEach, but one
+// pool for the entire pass instead of one per shard.
+func (s *Server) judgeTasks(a Auditor, tasks []auditTask) []bool {
+	ts := make([]trace.Trace, len(tasks))
+	owners := make([]string, len(tasks))
+	for i, t := range tasks {
+		ts[i] = t.frag.Trace.WithUser("")
+		owners[i] = t.frag.Owner
+	}
+	hits := make([]bool, len(tasks))
+	if ba, ok := a.(BatchAuditor); ok {
+		for i, r := range ba.ReIdentifiesBatch(ts, owners) {
+			hits[i] = r.Hit
+		}
+		return hits
+	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(todo) {
-		workers = len(todo)
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
 	var (
 		next atomic.Int64
-		mu   sync.Mutex
 		wg   sync.WaitGroup
 	)
 	wg.Add(workers)
@@ -93,44 +172,24 @@ func (s *Server) auditFrags(sh *stateShard, a Auditor, frags []publishedFrag) (a
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(todo) {
+				if i >= len(tasks) {
 					return
 				}
-				f := todo[i]
-				// The published label is a pseudonym; the attacks judge
-				// the anonymous trace, as in eval.RunDynamic's oracle.
-				if hit, _ := a.ReIdentifies(f.Trace.WithUser(""), f.Owner); hit {
-					mu.Lock()
-					condemned[f.Seq] = true
-					mu.Unlock()
-				}
+				// Each worker writes only its own claimed slots.
+				hits[i], _ = a.ReIdentifies(ts[i], owners[i])
 			}
 		}()
 	}
 	wg.Wait()
-	if len(condemned) == 0 {
-		return audited, 0
-	}
+	return hits
+}
 
-	// Log the quarantine and apply it under one read-hold of the
-	// consistency barrier, so a checkpoint cannot capture the removal
-	// while the record that justifies it is still unwritten. The record
-	// is best-effort (a lost quarantine re-derives on the next audit
-	// pass), so a poisoned store does not block the removal itself.
-	seqs := make([]int64, 0, len(condemned))
-	for q := range condemned {
-		seqs = append(seqs, q)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	s.storeGate.RLock()
-	defer s.storeGate.RUnlock()
-	if s.store != nil {
-		if r, err := encodeRec(recQuarantine, walQuarantine{Seqs: seqs}); err == nil {
-			s.store.Append(r) //nolint:errcheck // best-effort; see above
-		}
-	}
-	//mood:allow appendapply -- quarantine WAL record above is advisory by contract: a crash before it lands re-runs the audit on recovery, which re-condemns the same fragments
-	return audited, s.removeCondemned(sh, condemned)
+// BatchAuditor is an Auditor that judges many fragments in one batch
+// pass; the audit prefers it over per-fragment ReIdentifies calls.
+// mood.Pipeline and attack.Set implement it.
+type BatchAuditor interface {
+	Auditor
+	ReIdentifiesBatch(ts []trace.Trace, users []string) []attack.ReIdent
 }
 
 // removeCondemned drops the condemned fragments (by seq) from one shard

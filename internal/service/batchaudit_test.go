@@ -1,0 +1,203 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mood/internal/attack"
+	"mood/internal/geo"
+	"mood/internal/store"
+	"mood/internal/trace"
+)
+
+// regionRecords puts n records on a short walk around base, one per
+// minute — enough support for the AP heatmaps to tell regions apart.
+func regionRecords(base geo.Point, n int) []trace.Record {
+	rs := make([]trace.Record, n)
+	for i := range rs {
+		rs[i] = trace.At(geo.Offset(base, float64(i%5)*15, 0), int64(1000+i*60))
+	}
+	return rs
+}
+
+// countingBatchAuditor is a trained attack set that records whether the
+// audit pass actually went through the batched predicate.
+type countingBatchAuditor struct {
+	attack.Set
+	batchCalls atomic.Int32
+}
+
+func (c *countingBatchAuditor) ReIdentifiesBatch(ts []trace.Trace, users []string) []attack.ReIdent {
+	c.batchCalls.Add(1)
+	return c.Set.ReIdentifiesBatch(ts, users)
+}
+
+// scalarOnlyAuditor hides ReIdentifiesBatch, forcing the audit pass
+// onto the trace-at-a-time fallback.
+type scalarOnlyAuditor struct{ set attack.Set }
+
+func (a scalarOnlyAuditor) ReIdentifies(t trace.Trace, user string) (bool, string) {
+	return a.set.ReIdentifies(t, user)
+}
+
+// TestBatchAuditQuarantinesSameSetAsScalar drives two identically
+// loaded servers through a retrain-triggered audit — one whose auditor
+// exposes the batched predicate, one restricted to the scalar fallback
+// — and demands the exact same audit report, surviving dataset and
+// quarantine stats. This is the service-level face of the batch
+// kernels' bit-identical guarantee.
+func TestBatchAuditQuarantinesSameSetAsScalar(t *testing.T) {
+	regions := map[string]geo.Point{
+		"alice": {Lat: 45.70, Lon: 4.80},
+		"bob":   {Lat: 48.85, Lon: 2.35},
+		"carol": {Lat: 52.52, Lon: 13.40},
+	}
+	var background []trace.Trace
+	for user, base := range regions {
+		background = append(background, trace.New(user, regionRecords(base, 30)))
+	}
+	sort.Slice(background, func(i, j int) bool { return background[i].User < background[j].User })
+	set := attack.Set{attack.NewAP()}
+	if err := attack.TrainAll(set, background); err != nil {
+		t.Fatal(err)
+	}
+
+	batchAud := &countingBatchAuditor{Set: set}
+	run := func(aud Auditor) (RetrainReport, []string, StatsPayload) {
+		rt := RetrainerFunc(func([]trace.Trace) (Protector, Auditor, error) {
+			return nil, aud, nil
+		})
+		srv, hs := newRetrainServer(t, rt)
+		c := NewClient(hs.URL)
+		// Known users upload data from their profiled regions (the
+		// audit must condemn these), a stranger uploads from far away
+		// (no profile can claim it, so it survives).
+		for _, user := range []string{"alice", "bob", "carol"} {
+			if _, err := c.Upload(trace.New(user, regionRecords(regions[user], 20))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Upload(trace.New("dave", regionRecords(geo.Point{Lat: -33.9, Lon: 151.2}, 20))); err != nil {
+			t.Fatal(err)
+		}
+		report, err := srv.Retrain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := c.Dataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		users := d.Users()
+		sort.Strings(users)
+		return report, users, srv.statsPayload()
+	}
+
+	batchReport, batchUsers, batchStats := run(batchAud)
+	scalarReport, scalarUsers, scalarStats := run(scalarOnlyAuditor{set: set})
+
+	if batchAud.batchCalls.Load() == 0 {
+		t.Fatal("audit never went through the batched predicate")
+	}
+	if batchReport.Audited != scalarReport.Audited || batchReport.Quarantined != scalarReport.Quarantined {
+		t.Fatalf("batch report %+v != scalar report %+v", batchReport, scalarReport)
+	}
+	if batchReport.Audited != 4 || batchReport.Quarantined != 3 {
+		t.Fatalf("report = %+v, want 4 audited / 3 quarantined", batchReport)
+	}
+	if fmt.Sprint(batchUsers) != fmt.Sprint(scalarUsers) {
+		t.Fatalf("surviving datasets diverge: batch %v, scalar %v", batchUsers, scalarUsers)
+	}
+	if len(batchUsers) != 1 {
+		t.Fatalf("surviving fragments = %v, want exactly dave's", batchUsers)
+	}
+	if batchStats.QuarantinedTraces != scalarStats.QuarantinedTraces ||
+		batchStats.RecordsQuarantined != scalarStats.RecordsQuarantined {
+		t.Fatalf("quarantine stats diverge: batch %+v, scalar %+v", batchStats, scalarStats)
+	}
+}
+
+// appendFailStore works normally until failing is set, then rejects
+// every Append. Load and Compact always succeed so the server can
+// start and checkpoint.
+type appendFailStore struct {
+	failing atomic.Bool
+	fails   atomic.Int32
+}
+
+func (f *appendFailStore) Name() string { return "failing" }
+func (f *appendFailStore) Append(...store.Record) error {
+	if !f.failing.Load() {
+		return nil
+	}
+	f.fails.Add(1)
+	return errors.New("device write-protected")
+}
+func (f *appendFailStore) Load() ([]byte, []store.Record, error) { return nil, nil, nil }
+func (f *appendFailStore) Mark() (store.Pos, error)              { return 0, nil }
+func (f *appendFailStore) Compact([]byte, store.Pos) error       { return nil }
+func (f *appendFailStore) NeedsCompaction() bool                 { return false }
+func (f *appendFailStore) Close() error                          { return nil }
+
+// TestAppendFailureSurfacesInStats pins the swallowed-error bugfix:
+// the quarantine WAL record stays best-effort by contract — the
+// quarantine completes in memory even when the store rejects the
+// record — but the failure is no longer silent: /v2/stats persistence
+// health reports the count and the last error.
+func TestAppendFailureSurfacesInStats(t *testing.T) {
+	fst := &appendFailStore{}
+	rt := RetrainerFunc(func([]trace.Trace) (Protector, Auditor, error) {
+		return nil, ownerAuditor{prefix: "alice"}, nil
+	})
+	srv, err := New(&markedProtector{mark: "gen0"},
+		WithStore(fst), WithCheckpointInterval(-1), WithRetrainer(rt, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	if err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL)
+
+	if _, err := c.Upload(trace.New("alice", sampleRecords(6))); err != nil {
+		t.Fatal(err)
+	}
+	fst.failing.Store(true) // the disk goes bad after the upload acked
+	report, err := srv.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Quarantined != 1 {
+		t.Fatalf("quarantined %d with a failing store, want 1 (append is best-effort)", report.Quarantined)
+	}
+	d, err := c.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 0 {
+		t.Fatalf("condemned fragment still published: %v", d.Users())
+	}
+
+	p := srv.statsPayload().Persistence
+	if p == nil {
+		t.Fatal("no persistence section with a store configured")
+	}
+	if want := int64(fst.fails.Load()); p.AppendFailures != want || want < 1 {
+		t.Fatalf("append failures = %d, want %d (the quarantine record)", p.AppendFailures, want)
+	}
+	if !strings.Contains(p.LastAppendError, "write-protected") {
+		t.Fatalf("last append error = %q", p.LastAppendError)
+	}
+	body := getBody(t, hs.URL+"/v2/stats")
+	if !strings.Contains(body, `"append_failures"`) || !strings.Contains(body, `"last_append_error"`) {
+		t.Fatalf("stats JSON missing append health: %s", body)
+	}
+}

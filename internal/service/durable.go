@@ -293,8 +293,9 @@ func (s *Server) appendBestEffort(typ byte, v any) {
 	defer s.storeGate.RUnlock()
 	rec, err := encodeRec(typ, v)
 	if err == nil {
-		s.store.Append(rec) //nolint:errcheck // best-effort by contract
+		err = s.store.Append(rec)
 	}
+	s.noteAppend(err)
 }
 
 // ---------------------------------------------------------------------------
@@ -497,13 +498,33 @@ func (s *Server) checkpointWithRetry() {
 	}
 }
 
-// persistState tracks checkpoint health for /v2/stats.
+// persistState tracks checkpoint and best-effort-append health for
+// /v2/stats.
 type persistState struct {
 	checkpoints int64
 	failures    int64
 	lastErr     string
 	lastOK      time.Time
 	hasOK       bool
+	// appendFailures counts best-effort record appends (quarantines,
+	// failed-job terminals, retrain epochs) the store refused;
+	// lastAppendErr is the most recent refusal. Best-effort means the
+	// effect applies anyway — not that the refusal is allowed to
+	// vanish: a poisoned WAL must surface in the health section.
+	appendFailures int64
+	lastAppendErr  string
+}
+
+// noteAppend records a best-effort append outcome. Only failures are
+// tracked: successes are the norm and carry no signal.
+func (s *Server) noteAppend(err error) {
+	if err == nil {
+		return
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.persist.appendFailures++
+	s.persist.lastAppendErr = err.Error()
 }
 
 // notePersist records one checkpoint outcome.
@@ -535,6 +556,13 @@ type PersistenceStats struct {
 	// LastSuccessAgeMillis is the age of the last successful
 	// checkpoint; -1 means none has succeeded yet.
 	LastSuccessAgeMillis int64 `json:"last_success_age_ms"`
+	// AppendFailures counts best-effort WAL appends (quarantine
+	// records, failed-job terminals, retrain epochs) the store
+	// refused; LastAppendError is the most recent refusal. Both are
+	// omitted while zero, keeping the historical payload shape on
+	// healthy stores.
+	AppendFailures  int64  `json:"append_failures,omitempty"`
+	LastAppendError string `json:"last_append_error,omitempty"`
 }
 
 // StatsPayload is the GET /v{1,2}/stats body. The embedded ServerStats
@@ -555,6 +583,8 @@ func (s *Server) statsPayload() StatsPayload {
 	ps.Checkpoints = s.persist.checkpoints
 	ps.CheckpointFailures = s.persist.failures
 	ps.LastError = s.persist.lastErr
+	ps.AppendFailures = s.persist.appendFailures
+	ps.LastAppendError = s.persist.lastAppendErr
 	if s.persist.hasOK {
 		ps.LastSuccessAgeMillis = s.clk.Since(s.persist.lastOK).Milliseconds()
 	}

@@ -273,6 +273,21 @@ func (p *Pipeline) ReIdentifies(t Trace, user string) (bool, string) {
 	return p.atks.ReIdentifies(t, user)
 }
 
+// ReIdent is one (trace, user) pair's outcome of a batch
+// re-identification audit (see ReIdentifiesBatch).
+type ReIdent = attack.ReIdent
+
+// ReIdentifiesBatch answers ReIdentifies for many (trace, user) pairs
+// in one pass, pair-for-pair identical to the scalar predicate but
+// restructured for throughput: each trace is frozen once per attack,
+// the AP scan runs profile-major with float32 pruning, and the audit
+// question stops at the first profile beating the owner's score. The
+// service's re-audit pass judges the whole published dataset through
+// this in one call.
+func (p *Pipeline) ReIdentifiesBatch(ts []Trace, users []string) []ReIdent {
+	return p.atks.ReIdentifiesBatch(ts, users)
+}
+
 // Mechanisms lists the LPPM portfolio in selection order.
 func (p *Pipeline) Mechanisms() []Mechanism {
 	out := make([]Mechanism, len(p.lppms))
