@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	moodload -scenario steady|burst|drift-retrain|restart|crash
+//	moodload -scenario steady|burst|drift-retrain|restart|crash|cluster
 //	         [-seed 7] [-users 8] [-rounds 3] [-workers 0]
 //	         [-engine mood|echo] [-target URL] [-token T] [-out report.json]
 //
@@ -18,7 +18,12 @@
 // scenario snapshots, closes and reboots the server in the middle of a
 // round; the crash scenario runs the server over a write-ahead log and
 // kills it mid-round without drain or snapshot — the reboot must
-// replay every acknowledged upload from the log (both self-host only).
+// replay every acknowledged upload from the log; and the cluster
+// scenario self-hosts three WAL nodes behind the rendezvous router,
+// kills one mid-round, holds it down until the health checker evicts
+// it from the ring, and reboots it under traffic — the report gains a
+// cluster-misroute violation if any request ever executed on the
+// wrong node (all of these are self-host only).
 //
 // The report is printed to stdout as JSON and is deterministic for a
 // fixed seed: two runs of the same scenario produce byte-identical
@@ -82,7 +87,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	baseURL := *target
-	if baseURL == "" {
+	var misroutes func() int64
+	if baseURL == "" && *scenario == "cluster" {
+		ch, err := newSelfCluster(cfg, w, *engine)
+		if err != nil {
+			return err
+		}
+		defer ch.close()
+		cfg.Restart = ch.host.FailoverOne
+		misroutes = ch.host.Misroutes
+		baseURL = ch.host.URL()
+		fmt.Fprintf(stderr, "moodload: self-hosting a 3-node %s-engine cluster behind %s (%d background users)\n",
+			*engine, baseURL, w.Background.NumUsers())
+	} else if baseURL == "" {
 		h, err := newSelfHost(cfg, w, *engine)
 		if err != nil {
 			return err
@@ -99,6 +116,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rep, err := loadgen.NewDriver(cfg, baseURL, stderr).RunWorkload(w)
 	if err != nil {
 		return err
+	}
+	if misroutes != nil {
+		// The misroute tripwire is cluster-side state the driver cannot
+		// see; a non-zero count means a request executed on the wrong
+		// node and is a violation like any other.
+		if n := misroutes(); n != 0 {
+			rep.OK = false
+			rep.Violations = append(rep.Violations, loadgen.Violation{
+				Invariant: "cluster-misroute",
+				Detail:    fmt.Sprintf("misroute tripwire fired %d time(s)", n),
+			})
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -193,6 +222,47 @@ func newSelfHost(cfg loadgen.Config, w loadgen.Workload, engine string) (*selfHo
 
 // restart is the restart/crash scenario's mid-round callback.
 func (h *selfHost) restart() error { return h.reboot() }
+
+// selfCluster self-hosts the cluster scenario: three WAL nodes behind
+// the rendezvous router, health-checked membership, FailoverOne as the
+// mid-round callback.
+type selfCluster struct {
+	host *loadgen.ClusterHost
+	dir  string
+}
+
+func newSelfCluster(cfg loadgen.Config, w loadgen.Workload, engine string) (*selfCluster, error) {
+	protector, retrainer, err := buildEngine(engine, cfg.Seed, w.Background.Traces)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "moodload-cluster-*")
+	if err != nil {
+		return nil, err
+	}
+	ch, err := loadgen.NewClusterHost(loadgen.ClusterConfig{
+		Dir:   dir,
+		Token: cfg.AuthToken,
+		New: func(nodeID string, st store.Store) (*service.Server, error) {
+			return service.New(protector,
+				service.WithNodeID(nodeID),
+				service.WithRetrainer(retrainer, 0),
+				service.WithAuthToken(cfg.AuthToken),
+				service.WithStore(st),
+			)
+		},
+	})
+	if err != nil {
+		os.RemoveAll(dir) //mood:allow persistio -- bench scratch dir teardown: the per-node WAL dirs are ephemeral, not server state
+		return nil, err
+	}
+	return &selfCluster{host: ch, dir: dir}, nil
+}
+
+func (c *selfCluster) close() {
+	c.host.Close()      //nolint:errcheck // teardown on exit
+	os.RemoveAll(c.dir) //mood:allow persistio -- bench scratch dir teardown: the per-node WAL dirs are ephemeral, not server state
+}
 
 func (h *selfHost) close() {
 	h.hs.Close()

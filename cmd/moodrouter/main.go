@@ -1,0 +1,145 @@
+// Command moodrouter fronts a sharded moodserver deployment: a thin
+// reverse proxy that owns the rendezvous ring over the configured
+// nodes, forwards every per-user request of the v2 surface to the ring
+// owner of its X-Mood-User, and scatter-gathers the non-user-scoped
+// reads (/v2/stats with a per-node breakdown, /v2/metrics, /v2/jobs,
+// the page-merged /v2/dataset) across the whole membership. Admin
+// retrains fan out to every node and aggregate the reports.
+//
+// Usage:
+//
+//	moodrouter -node n00=http://10.0.0.1:8080 -node n01=http://10.0.0.2:8080
+//	           [-addr :8080] [-token T]
+//	           [-probe-interval 500ms] [-probe-timeout 2s] [-fail-threshold 3]
+//
+// Each -node pins a stable identity to a base URL; the same IDs must be
+// passed to the nodes as moodserver -node-id, because every forwarded
+// request is stamped with the computed owner and the node refuses a
+// mismatch (the misroute tripwire). Health checks probe every node's
+// /healthz; a node failing -fail-threshold consecutive probes is marked
+// down and its keys answer a retryable 503 problem code "routing" with
+// Retry-After until it recovers — ownership never moves on a health
+// transition, so a flapping node can never fork a user's durable state
+// across two WALs.
+//
+// -token authenticates the router's own scatter/fan-out requests
+// against the nodes; owner-forwarded requests pass the client's
+// Authorization header through untouched.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mood/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "moodrouter:", err)
+		os.Exit(1)
+	}
+}
+
+// nodeFlags collects repeatable -node id=url pairs in argument order.
+type nodeFlags []cluster.Node
+
+func (nf *nodeFlags) String() string {
+	parts := make([]string, len(*nf))
+	for i, n := range *nf {
+		parts[i] = n.ID + "=" + n.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (nf *nodeFlags) Set(v string) error {
+	id, url, ok := strings.Cut(v, "=")
+	if !ok || id == "" || url == "" {
+		return fmt.Errorf("want id=url, got %q", v)
+	}
+	*nf = append(*nf, cluster.Node{ID: id, URL: strings.TrimSuffix(url, "/")})
+	return nil
+}
+
+func run(args []string) error {
+	return runCtx(context.Background(), args)
+}
+
+// runCtx serves until the context is cancelled or a signal arrives.
+// Tests drive shutdown through the context.
+func runCtx(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("moodrouter", flag.ContinueOnError)
+	var nodes nodeFlags
+	fs.Var(&nodes, "node", "cluster member as id=url (repeatable, at least one)")
+	addr := fs.String("addr", ":8080", "listen address")
+	token := fs.String("token", "", "bearer token for router-originated scatter/fan-out requests to the nodes")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "health sweep period")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-probe request timeout")
+	failThreshold := fs.Int("fail-threshold", 3, "consecutive failed probes that mark a node down")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("at least one -node id=url is required")
+	}
+
+	m, err := cluster.NewMembership(cluster.Config{
+		Nodes:         nodes,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailThreshold: *failThreshold,
+	})
+	if err != nil {
+		return err
+	}
+	m.Start()
+	defer m.Close()
+
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Membership: m,
+		Token:      *token,
+		Log:        os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ids := make([]string, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID
+	}
+	log.Printf("moodrouter: ring over %v, listening on %s", ids, *addr)
+	httpServer := &http.Server{
+		Addr:    *addr,
+		Handler: router,
+		// Bound every phase of the client-side exchange; the proxied
+		// leg is bounded by each request's own context.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("moodrouter: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return httpServer.Shutdown(shctx)
+}

@@ -13,7 +13,7 @@
 //	           [-store json|wal] [-wal-dir DIR] [-fsync always|group]
 //	           [-rate 0] [-burst 10] [-queue 64] [-workers 0]
 //	           [-request-timeout 2m]
-//	           [-retrain-interval 0] [-history-cap 50000]
+//	           [-retrain-interval 0] [-history-cap 50000] [-node-id n00]
 //
 // The background CSV plays the attacker-side knowledge H: it trains the
 // re-identification attacks the middleware defends against and feeds
@@ -36,6 +36,13 @@
 // -9) loses zero acked uploads, and reboot replays the log. -fsync=
 // group trades one fsync per upload for batched group commit. Either
 // way /v2/stats surfaces the checkpoint health.
+//
+// Clustering: behind cmd/moodrouter each node runs with a stable
+// -node-id and its own WAL. The router stamps every forwarded request
+// with the computed ring owner; a node refuses requests stamped for
+// somebody else with a retryable 503 (problem code "routing") instead
+// of executing them — ownership mistakes fail loudly, never as a
+// silent misroute across two nodes' state.
 //
 // The server also shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests finish, the upload queue drains, and a final checkpoint is
@@ -91,6 +98,7 @@ func runCtx(ctx context.Context, args []string) error {
 	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request timeout (negative disables)")
 	retrainInterval := fs.Duration("retrain-interval", 0, "periodic attack retraining + re-audit (0 = only on POST /v1/admin/retrain)")
 	historyCap := fs.Int("history-cap", 0, "per-user raw history the retrainer learns from, in records (0 = default 50000, negative disables)")
+	nodeID := fs.String("node-id", "", "stable cluster node identity (required behind moodrouter; enables the misroute tripwire and the stats node section)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,6 +138,9 @@ func runCtx(ctx context.Context, args []string) error {
 		service.WithAuthToken(*token),
 		service.WithRetrainer(&pipelineRetrainer{base: pipeline, initial: bg.Traces}, *retrainInterval),
 		service.WithHistoryCap(*historyCap),
+	}
+	if *nodeID != "" {
+		svcOpts = append(svcOpts, service.WithNodeID(*nodeID))
 	}
 	if st != nil {
 		svcOpts = append(svcOpts, service.WithStore(st))

@@ -1,0 +1,694 @@
+package cluster
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mood/internal/service"
+	"mood/internal/trace"
+)
+
+// Router is the thin forwarding tier in front of the sharded
+// moodservers: stateless apart from the ring, so any number of replicas
+// can run behind one VIP. Per-user rows of the v2 route table forward
+// to the ring owner of the request's user; non-user-scoped reads
+// scatter to every member and gather an exact aggregate — or answer a
+// retryable 503 problem code "routing" when a member is failing over,
+// because an aggregate silently missing one node's counters would break
+// every conservation law downstream.
+//
+// The router speaks the v2 surface only, and only the JSON dialect of
+// GET /v2/dataset (CSV/NDJSON negotiation remains a single-node
+// feature).
+type Router struct {
+	m     *Membership
+	mux   *http.ServeMux
+	proxy *http.Client
+	token string
+	log   io.Writer
+}
+
+// RouterConfig wires a Router.
+type RouterConfig struct {
+	// Membership owns the ring the router routes over.
+	Membership *Membership
+	// Token, when non-empty, authenticates router-originated scatter
+	// and fan-out requests against the nodes. Owner-forwarded requests
+	// pass the client's own Authorization header through instead.
+	Token string
+	// HTTPClient talks to the nodes; nil builds a timeout-free client
+	// (batch streams are long-lived; per-request contexts still bound
+	// everything the caller bounds).
+	HTTPClient *http.Client
+	// Log receives human-oriented routing notes; nil discards.
+	Log io.Writer
+}
+
+// NewRouter builds the routing handler.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Membership == nil {
+		return nil, fmt.Errorf("cluster: router needs a membership")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	rt := &Router{m: cfg.Membership, proxy: cfg.HTTPClient, token: cfg.Token, log: cfg.Log}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("POST /v2/traces", rt.handleTraces)
+	mux.HandleFunc("GET /v2/users/{id}", rt.handleUser)
+	mux.HandleFunc("GET /v2/dataset", rt.handleDataset)
+	mux.HandleFunc("GET /v2/stats", rt.handleStats)
+	mux.HandleFunc("GET /v2/metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /v2/jobs", rt.handleJobs)
+	mux.HandleFunc("GET /v2/jobs/{id}", rt.handleJob)
+	mux.HandleFunc("POST /v2/admin/retrain", rt.handleRetrain)
+	mux.HandleFunc("GET /v2/openapi.json", rt.handleOpenAPI)
+	mux.HandleFunc("/", rt.handleNotFound)
+	rt.mux = mux
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// ---------------------------------------------------------------------------
+// Problem rendering. The router answers in the service tier's closed
+// problem+json dialect; "routing" refusals always carry Retry-After so
+// a failover window looks to clients exactly like a shed.
+
+func writeProblem(w http.ResponseWriter, p service.Problem) {
+	w.Header().Set("Content-Type", service.ProblemContentType)
+	w.WriteHeader(p.Status)
+	json.NewEncoder(w).Encode(p) //nolint:errcheck // headers are gone
+}
+
+func routingUnavailable(w http.ResponseWriter, detail string) {
+	w.Header().Set("Retry-After", "1")
+	writeProblem(w, service.NewProblem(http.StatusServiceUnavailable, service.CodeRouting, detail))
+}
+
+func (rt *Router) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeProblem(w, service.NewProblem(http.StatusNotFound, service.CodeNotFound,
+		"unknown resource (the cluster router serves the /v2 surface)"))
+}
+
+// handleHealthz is the router's own liveness plus a ring summary, so an
+// operator (or another router's health checker) sees cluster health in
+// one read even while /v2/stats is failing closed.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ring := rt.m.Ring()
+	type nodeHealth struct {
+		ID   string `json:"id"`
+		Down bool   `json:"down"`
+	}
+	nodes := make([]nodeHealth, 0, ring.Len())
+	for _, n := range ring.Nodes() {
+		nodes = append(nodes, nodeHealth{ID: n.ID, Down: ring.Down(n.ID)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck // headers are gone
+		"status": "ok", "ring_epoch": ring.Epoch(), "nodes": nodes,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Per-user forwarding.
+
+// handleTraces forwards the NDJSON batch stream to the owner of the
+// batch's user. The X-Mood-User header is mandatory here: it is the
+// routing key, and a mixed-user batch has no single owner (split such
+// batches per user client-side).
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	user := r.Header.Get(service.UserHeader)
+	if user == "" {
+		writeProblem(w, service.NewProblem(http.StatusBadRequest, service.CodeBadRequest,
+			"cluster routing requires the "+service.UserHeader+" header (one user per batch)"))
+		return
+	}
+	rt.forwardToOwner(w, r, user)
+}
+
+func (rt *Router) handleUser(w http.ResponseWriter, r *http.Request) {
+	rt.forwardToOwner(w, r, r.PathValue("id"))
+}
+
+// forwardToOwner proxies the request to the ring owner of user, or
+// answers the retryable routing refusal while the owner is failing
+// over. Ownership is sticky (see the package comment), so a key's
+// requests are never silently served by a non-owner.
+func (rt *Router) forwardToOwner(w http.ResponseWriter, r *http.Request, user string) {
+	ring := rt.m.Ring()
+	owner, ok := ring.Owner(user)
+	if !ok {
+		routingUnavailable(w, "no cluster members configured")
+		return
+	}
+	if ring.Down(owner.ID) {
+		routingUnavailable(w, "node "+owner.ID+" (owner of this user) is failing over; retry")
+		return
+	}
+	rt.proxyTo(w, r, owner, ring.Epoch())
+}
+
+// hopHeaders are the hop-by-hop headers a proxy must not relay.
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Proxy-Connection", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// proxyTo streams the request to the node and the response back,
+// flushing per chunk so NDJSON batch results flow full-duplex through
+// the router exactly as they do node-direct. A transport-level failure
+// before the response starts maps to the retryable routing refusal.
+func (rt *Router) proxyTo(w http.ResponseWriter, r *http.Request, node Node, epoch int64) {
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex() //nolint:errcheck // best effort; plain writers just buffer
+
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, node.URL+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeProblem(w, service.NewProblem(http.StatusBadRequest, service.CodeBadRequest, err.Error()))
+		return
+	}
+	out.Header = r.Header.Clone()
+	for _, h := range hopHeaders {
+		out.Header.Del(h)
+	}
+	out.Header.Set(service.ClusterOwnerHeader, node.ID)
+	out.Header.Set(service.RingEpochHeader, strconv.FormatInt(epoch, 10))
+	out.ContentLength = r.ContentLength
+
+	resp, err := rt.proxy.Do(out)
+	if err != nil {
+		fmt.Fprintf(rt.log, "cluster: forward to %s failed: %v\n", node.ID, err)
+		routingUnavailable(w, "node "+node.ID+" unreachable; retry")
+		return
+	}
+	defer resp.Body.Close()
+
+	hdr := w.Header()
+	for k, vs := range resp.Header {
+		if isHopHeader(k) {
+			continue
+		}
+		hdr[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			rc.Flush() //nolint:errcheck // client gone; the next write fails
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+func isHopHeader(k string) bool {
+	for _, h := range hopHeaders {
+		if strings.EqualFold(h, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather plumbing.
+
+// fanResult is one node's answer to a router-originated request.
+type fanResult struct {
+	node   Node
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+// fanout issues method+path (path includes the query) to every node in
+// parallel and returns the answers in node order. Router-originated
+// requests authenticate with the router's token and are stamped with
+// the ring epoch (but no owner: they are deliberately node-agnostic).
+func (rt *Router) fanout(r *http.Request, nodes []Node, epoch int64, method, path string) []fanResult {
+	out := make([]fanResult, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			out[i] = rt.fetchOne(r, n, epoch, method, path)
+		}(i, n)
+	}
+	wg.Wait()
+	return out
+}
+
+func (rt *Router) fetchOne(r *http.Request, n Node, epoch int64, method, path string) fanResult {
+	req, err := http.NewRequestWithContext(r.Context(), method, n.URL+path, nil)
+	if err != nil {
+		return fanResult{node: n, err: err}
+	}
+	req.Header.Set("Accept", "application/json")
+	req.Header.Set(service.RingEpochHeader, strconv.FormatInt(epoch, 10))
+	if rt.token != "" {
+		req.Header.Set("Authorization", "Bearer "+rt.token)
+	}
+	resp, err := rt.proxy.Do(req)
+	if err != nil {
+		return fanResult{node: n, err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fanResult{node: n, err: err}
+	}
+	return fanResult{node: n, status: resp.StatusCode, header: resp.Header, body: body}
+}
+
+// wholeCluster returns the current ring when every member is healthy,
+// or answers the routing refusal and reports false. The exact
+// aggregates (stats, dataset, jobs, retrain, metrics) fail closed: a
+// partial aggregate would silently violate the conservation laws the
+// soak harness checks.
+func (rt *Router) wholeCluster(w http.ResponseWriter) (*Ring, bool) {
+	ring := rt.m.Ring()
+	var down []string
+	for _, n := range ring.Nodes() {
+		if ring.Down(n.ID) {
+			down = append(down, n.ID)
+		}
+	}
+	if len(down) > 0 {
+		routingUnavailable(w, "cluster degraded (down: "+strings.Join(down, ", ")+"); aggregate reads retry until whole")
+		return nil, false
+	}
+	return ring, true
+}
+
+// relay writes one gathered node response through verbatim.
+func relay(w http.ResponseWriter, fr fanResult) {
+	for k, vs := range fr.header {
+		if isHopHeader(k) {
+			continue
+		}
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(fr.status)
+	w.Write(fr.body) //nolint:errcheck // headers are gone
+}
+
+// gatherWhole runs a fan-out across the whole cluster and hands back
+// the results only when every node answered wantStatus; a transport
+// failure answers the routing refusal, any other status is relayed
+// verbatim (first failing node in ID order). Reported false means the
+// response has been written.
+func (rt *Router) gatherWhole(w http.ResponseWriter, r *http.Request, method, path string, wantStatus int) ([]fanResult, *Ring, bool) {
+	ring, ok := rt.wholeCluster(w)
+	if !ok {
+		return nil, nil, false
+	}
+	results := rt.fanout(r, ring.Nodes(), ring.Epoch(), method, path)
+	for _, fr := range results {
+		if fr.err != nil {
+			routingUnavailable(w, "node "+fr.node.ID+" unreachable; retry")
+			return nil, nil, false
+		}
+		if fr.status != wantStatus {
+			relay(w, fr)
+			return nil, nil, false
+		}
+	}
+	return results, ring, true
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated reads.
+
+// NodeStatus is one member's entry in the aggregated stats payload.
+type NodeStatus struct {
+	ID   string `json:"id"`
+	URL  string `json:"url"`
+	Down bool   `json:"down"`
+	// Stats is the node's full stats payload (per-node counters,
+	// persistence health and node identity sections).
+	Stats *service.StatsPayload `json:"stats,omitempty"`
+}
+
+// ClusterSection is the `cluster` section of the aggregated stats.
+type ClusterSection struct {
+	RingEpoch int64        `json:"ring_epoch"`
+	Nodes     []NodeStatus `json:"nodes"`
+}
+
+// ClusterStatsPayload is the router's GET /v2/stats body: the exact
+// cluster-wide ServerStats aggregate (user sets are disjoint by
+// routing, so plain sums are exact) plus the per-node breakdown.
+type ClusterStatsPayload struct {
+	service.ServerStats
+	Cluster ClusterSection `json:"cluster"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	results, ring, ok := rt.gatherWhole(w, r, http.MethodGet, "/v2/stats", http.StatusOK)
+	if !ok {
+		return
+	}
+	agg := ClusterStatsPayload{Cluster: ClusterSection{RingEpoch: ring.Epoch()}}
+	for _, fr := range results {
+		var sp service.StatsPayload
+		if err := json.Unmarshal(fr.body, &sp); err != nil {
+			routingUnavailable(w, "node "+fr.node.ID+" answered an undecodable stats payload")
+			return
+		}
+		agg.Uploads += sp.Uploads
+		agg.Users += sp.Users
+		agg.RecordsIn += sp.RecordsIn
+		agg.RecordsPublished += sp.RecordsPublished
+		agg.RecordsRejected += sp.RecordsRejected
+		agg.RecordsQuarantined += sp.RecordsQuarantined
+		agg.PublishedTraces += sp.PublishedTraces
+		agg.QuarantinedTraces += sp.QuarantinedTraces
+		agg.Retrains += sp.Retrains
+		agg.Cluster.Nodes = append(agg.Cluster.Nodes, NodeStatus{
+			ID: fr.node.ID, URL: fr.node.URL, Down: false, Stats: &sp,
+		})
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	results, _, ok := rt.gatherWhole(w, r, http.MethodGet, "/v2/metrics", http.StatusOK)
+	if !ok {
+		return
+	}
+	agg := service.MetricsSnapshot{Routes: map[string]service.RouteMetrics{}}
+	for _, fr := range results {
+		var ms service.MetricsSnapshot
+		if err := json.Unmarshal(fr.body, &ms); err != nil {
+			routingUnavailable(w, "node "+fr.node.ID+" answered an undecodable metrics payload")
+			return
+		}
+		for route, rm := range ms.Routes {
+			cur := agg.Routes[route]
+			if cur.Status == nil {
+				cur.Status = map[string]int64{}
+			}
+			cur.Count += rm.Count
+			cur.TotalMillis += rm.TotalMillis
+			if rm.MaxMillis > cur.MaxMillis {
+				cur.MaxMillis = rm.MaxMillis
+			}
+			for code, n := range rm.Status {
+				cur.Status[code] += n
+			}
+			if cur.Count > 0 {
+				cur.AvgMillis = cur.TotalMillis / float64(cur.Count)
+			}
+			agg.Routes[route] = cur
+		}
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+func (rt *Router) handleJobs(w http.ResponseWriter, r *http.Request) {
+	path := "/v2/jobs"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	results, _, ok := rt.gatherWhole(w, r, http.MethodGet, path, http.StatusOK)
+	if !ok {
+		return
+	}
+	var merged service.JobList
+	for _, fr := range results {
+		var jl service.JobList
+		if err := json.Unmarshal(fr.body, &jl); err != nil {
+			routingUnavailable(w, "node "+fr.node.ID+" answered an undecodable job list")
+			return
+		}
+		merged.Jobs = append(merged.Jobs, jl.Jobs...)
+		merged.Total += jl.Total
+	}
+	// Job IDs are random; ID order is the only stable cross-node order.
+	sort.Slice(merged.Jobs, func(i, j int) bool { return merged.Jobs[i].ID < merged.Jobs[j].ID })
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		if n, err := strconv.Atoi(raw); err == nil && n > 0 && n < len(merged.Jobs) {
+			merged.Jobs = merged.Jobs[:n]
+		}
+	}
+	if merged.Jobs == nil {
+		merged.Jobs = []service.JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleJob scatters the job lookup: job IDs are crypto-random and
+// node-local, so the holder answers 200 and everyone else 404. A 200
+// relays immediately; all-404 with the whole cluster reachable is a
+// real 404; anything less than whole keeps the lookup retryable — the
+// job may live on the unreachable node.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	ring := rt.m.Ring()
+	var up []Node
+	degraded := false
+	for _, n := range ring.Nodes() {
+		if ring.Down(n.ID) {
+			degraded = true
+			continue
+		}
+		up = append(up, n)
+	}
+	results := rt.fanout(r, up, ring.Epoch(), http.MethodGet, "/v2/jobs/"+r.PathValue("id"))
+	var firstOther *fanResult
+	for i := range results {
+		fr := &results[i]
+		if fr.err != nil {
+			degraded = true
+			continue
+		}
+		if fr.status == http.StatusOK {
+			relay(w, *fr)
+			return
+		}
+		if fr.status != http.StatusNotFound && firstOther == nil {
+			firstOther = fr
+		}
+	}
+	if firstOther != nil {
+		relay(w, *firstOther)
+		return
+	}
+	if degraded {
+		routingUnavailable(w, "job not found on reachable nodes and part of the cluster is failing over; retry")
+		return
+	}
+	writeProblem(w, service.NewProblem(http.StatusNotFound, service.CodeNotFound, "unknown job"))
+}
+
+func (rt *Router) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	results, _, ok := rt.gatherWhole(w, r, http.MethodPost, "/v2/admin/retrain", http.StatusOK)
+	if !ok {
+		return
+	}
+	var agg service.RetrainReport
+	for _, fr := range results {
+		var rr service.RetrainReport
+		if err := json.Unmarshal(fr.body, &rr); err != nil {
+			routingUnavailable(w, "node "+fr.node.ID+" answered an undecodable retrain report")
+			return
+		}
+		// User histories are disjoint by routing: sums are exact. The
+		// barrier's wall time is the slowest node's pass.
+		agg.HistoryUsers += rr.HistoryUsers
+		agg.HistoryRecords += rr.HistoryRecords
+		agg.Audited += rr.Audited
+		agg.Quarantined += rr.Quarantined
+		if rr.DurationMillis > agg.DurationMillis {
+			agg.DurationMillis = rr.DurationMillis
+		}
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// handleOpenAPI serves the contract from any healthy node (every node
+// generates the identical document from the same route table).
+func (rt *Router) handleOpenAPI(w http.ResponseWriter, r *http.Request) {
+	ring := rt.m.Ring()
+	for _, n := range ring.Nodes() {
+		if ring.Down(n.ID) {
+			continue
+		}
+		fr := rt.fetchOne(r, n, ring.Epoch(), http.MethodGet, "/v2/openapi.json")
+		if fr.err == nil {
+			relay(w, fr)
+			return
+		}
+	}
+	routingUnavailable(w, "no healthy node to serve the OpenAPI document; retry")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // headers are gone
+}
+
+// ---------------------------------------------------------------------------
+// Dataset page merge.
+
+// handleDataset scatters the page request — same cursor, same filters —
+// to every member and k-way merges the returned pages by published
+// pseudonym. Each node's page is its first `limit` matching traces
+// after the cursor, so the smallest `limit` of the union is exactly the
+// global page and the cursor contract (next_cursor = last emitted
+// pseudonym, opaque base64) is preserved bit-for-bit. The merged ETag
+// concatenates the per-node validators in node-ID order: it changes iff
+// any node's dataset version changes.
+func (rt *Router) handleDataset(w http.ResponseWriter, r *http.Request) {
+	if !acceptsJSON(r.Header.Get("Accept")) {
+		writeProblem(w, service.NewProblem(http.StatusNotAcceptable, service.CodeNotAcceptable,
+			"the cluster router serves application/json only (CSV/NDJSON are single-node formats)"))
+		return
+	}
+	limit := 100
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > 1000 {
+			writeProblem(w, service.NewProblem(http.StatusBadRequest, service.CodeBadRequest,
+				"limit must be an integer in 1..1000"))
+			return
+		}
+		limit = n
+	}
+	path := "/v2/dataset"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	results, _, ok := rt.gatherWhole(w, r, http.MethodGet, path, http.StatusOK)
+	if !ok {
+		return
+	}
+
+	pages := make([]service.DatasetPage, len(results))
+	etags := make([]string, 0, len(results))
+	merged := service.DatasetPage{}
+	for i, fr := range results {
+		if err := json.Unmarshal(fr.body, &pages[i]); err != nil {
+			routingUnavailable(w, "node "+fr.node.ID+" answered an undecodable dataset page")
+			return
+		}
+		if merged.Name == "" {
+			merged.Name = pages[i].Name
+		}
+		merged.TotalUsers += pages[i].TotalUsers
+		etags = append(etags, fr.node.ID+":"+strings.Trim(strings.TrimPrefix(fr.header.Get("ETag"), "W/"), `"`))
+	}
+	etag := `W/"mood-cluster-` + strings.Join(etags, "+") + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Vary", "Accept")
+	if inmMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	// K-way merge by pseudonym, capped at limit.
+	heads := make([]int, len(pages))
+	more := false
+	for len(merged.Traces) < limit {
+		best := -1
+		for i := range pages {
+			if heads[i] >= len(pages[i].Traces) {
+				continue
+			}
+			if best < 0 || pages[i].Traces[heads[i]].User < pages[best].Traces[heads[best]].User {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged.Traces = append(merged.Traces, pages[best].Traces[heads[best]])
+		heads[best]++
+	}
+	// Never split a cross-node tie across the page boundary: each node
+	// numbers its own pub-NNNNNN pseudonym sequence, so distinct users
+	// on different nodes routinely share a pseudonym, and the cursor
+	// means "resume strictly after this pseudonym" — cutting the page
+	// between tied entries would silently skip the unsent ones on
+	// resume. Within a node pseudonyms are unique and sorted, so every
+	// tied entry sits at a current head; draining them overflows the
+	// requested limit by at most one entry per remaining node.
+	if last := len(merged.Traces) - 1; last >= 0 {
+		for i := range pages {
+			if heads[i] < len(pages[i].Traces) && pages[i].Traces[heads[i]].User == merged.Traces[last].User {
+				merged.Traces = append(merged.Traces, pages[i].Traces[heads[i]])
+				heads[i]++
+			}
+		}
+	}
+	for i := range pages {
+		if heads[i] < len(pages[i].Traces) || pages[i].NextCursor != "" {
+			more = true
+		}
+	}
+	if merged.Traces == nil {
+		merged.Traces = []trace.Trace{}
+	}
+	if more && len(merged.Traces) > 0 {
+		merged.NextCursor = base64.RawURLEncoding.EncodeToString(
+			[]byte(merged.Traces[len(merged.Traces)-1].User))
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// acceptsJSON mirrors the nodes' negotiation for the one format the
+// router can merge.
+func acceptsJSON(accept string) bool {
+	if accept == "" {
+		return true
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch strings.ToLower(mt) {
+		case "application/json", "application/*", "*/*":
+			return true
+		}
+	}
+	return false
+}
+
+// inmMatches implements the weak If-None-Match comparison (RFC 9110
+// §13.1.2), as the nodes do.
+func inmMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	opaque := strings.TrimPrefix(etag, "W/")
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || strings.TrimPrefix(cand, "W/") == opaque {
+			return true
+		}
+	}
+	return false
+}

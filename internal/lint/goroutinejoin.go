@@ -34,10 +34,20 @@ type GoroutineJoinConfig struct {
 	ExcludePathPrefixes []string
 }
 
-// DefaultGoroutineJoin exempts the binaries under cmd/.
+// DefaultGoroutineJoin exempts the enumerated binaries, whose join is
+// process exit. cmd/moodrouter is deliberately in scope: the router is
+// a long-running proxy whose serve loop must shut down to quiescence
+// like library code, so its goroutines need provable joins.
 func DefaultGoroutineJoin() *analysis.Analyzer {
 	return GoroutineJoin(GoroutineJoinConfig{
-		ExcludePathPrefixes: []string{"mood/cmd/"},
+		ExcludePathPrefixes: []string{
+			"mood/cmd/datagen",
+			"mood/cmd/moodbench",
+			"mood/cmd/moodctl",
+			"mood/cmd/moodload",
+			"mood/cmd/moodserver",
+			"mood/cmd/moodvet",
+		},
 	})
 }
 

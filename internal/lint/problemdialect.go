@@ -53,6 +53,9 @@ func DefaultProblemDialect() *analysis.Analyzer {
 			// batchError builds the per-line BatchResult; its code
 			// parameter moves the obligation to its call sites.
 			"batchError": 3,
+			// NewProblem is the exported constructor the cluster router
+			// uses; inside the package it forwards to newProblem.
+			"NewProblem": 1,
 		},
 		CarrierFields: map[string]map[string]bool{
 			"chunkOutcome": {"code": true},

@@ -1,0 +1,221 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"mood/internal/clock"
+	"mood/internal/cluster"
+	"mood/internal/service"
+	"mood/internal/store"
+)
+
+// ClusterHost self-hosts a small sharded deployment: N WAL-backed
+// moodserver nodes on loopback listeners, a health-checked membership
+// over them, and a cluster.Router front door. It is the multi-node
+// counterpart of Host, shared by cmd/moodload's cluster scenario and
+// the e2e test so the kill → mark-down → reboot → mark-up drill exists
+// exactly once.
+type ClusterHost struct {
+	nodes  []*clusterNode
+	m      *cluster.Membership
+	router *http.Server
+	url    string
+	victim int
+	clk    clock.Clock
+}
+
+// clusterNode is one member: a WAL Host (the Kill/Reboot machinery)
+// bound to a real listener under a stable node ID.
+type clusterNode struct {
+	id   string
+	url  string
+	host *Host
+	hs   *http.Server
+}
+
+// ClusterConfig wires a ClusterHost.
+type ClusterConfig struct {
+	// Size is the member count. Default 3.
+	Size int
+	// Dir is the base directory for the per-node write-ahead logs
+	// (required; the caller owns its lifecycle).
+	Dir string
+	// New builds one node's server. It must pass both the node ID
+	// (service.WithNodeID — the router's misroute tripwire depends on
+	// it) and the store (service.WithStore) to service.New.
+	New func(nodeID string, st store.Store) (*service.Server, error)
+	// Token authenticates the router's scatter/fan-out requests against
+	// the nodes (zero value: no auth).
+	Token string
+	// ProbeInterval / FailThreshold tune the health checker. The
+	// defaults (25ms, 2) keep the failover window well inside the
+	// driver's transient-retry tolerance.
+	ProbeInterval time.Duration
+	FailThreshold int
+}
+
+// NewClusterHost boots the nodes, starts health checking and serves the
+// router. The returned host's URL is the cluster's single client-facing
+// base URL.
+func NewClusterHost(cfg ClusterConfig) (*ClusterHost, error) {
+	if cfg.Size <= 0 {
+		cfg.Size = 3
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("loadgen: cluster host needs a WAL directory")
+	}
+	if cfg.New == nil {
+		return nil, fmt.Errorf("loadgen: cluster host needs a node constructor")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 25 * time.Millisecond
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+
+	// The membership health checker runs on the system clock — this is
+	// a wall-clock soak harness, not a virtual-time test — so the same
+	// clock paces the failover rendezvous polls.
+	ch := &ClusterHost{victim: cfg.Size / 2, clk: clock.System()}
+	members := make([]cluster.Node, 0, cfg.Size)
+	for i := 0; i < cfg.Size; i++ {
+		id := fmt.Sprintf("n%02d", i)
+		host, err := NewWALHost(func(st store.Store) (*service.Server, error) {
+			return cfg.New(id, st)
+		}, filepath.Join(cfg.Dir, id), nil)
+		if err != nil {
+			ch.Close() //nolint:errcheck // already failing; report the boot error
+			return nil, fmt.Errorf("loadgen: booting cluster node %s: %w", id, err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			host.Close() //nolint:errcheck // already failing
+			ch.Close()   //nolint:errcheck
+			return nil, err
+		}
+		n := &clusterNode{
+			id:   id,
+			url:  "http://" + ln.Addr().String(),
+			host: host,
+			hs:   &http.Server{Handler: host},
+		}
+		//mood:allow goroutinejoin -- listener-scoped serve loop: Close tears the listener down, Serve returns, and net/http joins its connections internally
+		go n.hs.Serve(ln) //nolint:errcheck // closed via ch.Close
+		ch.nodes = append(ch.nodes, n)
+		members = append(members, cluster.Node{ID: id, URL: n.url})
+	}
+
+	m, err := cluster.NewMembership(cluster.Config{
+		Nodes:         members,
+		ProbeInterval: cfg.ProbeInterval,
+		ProbeTimeout:  time.Second,
+		FailThreshold: cfg.FailThreshold,
+	})
+	if err != nil {
+		ch.Close() //nolint:errcheck
+		return nil, err
+	}
+	ch.m = m
+	m.Start()
+
+	router, err := cluster.NewRouter(cluster.RouterConfig{Membership: m, Token: cfg.Token})
+	if err != nil {
+		ch.Close() //nolint:errcheck
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ch.Close() //nolint:errcheck
+		return nil, err
+	}
+	ch.url = "http://" + ln.Addr().String()
+	ch.router = &http.Server{Handler: router}
+	//mood:allow goroutinejoin -- listener-scoped serve loop: Close tears the listener down, Serve returns, and net/http joins its connections internally
+	go ch.router.Serve(ln) //nolint:errcheck // closed via ch.Close
+	return ch, nil
+}
+
+// URL is the router's base URL — the address clients treat as "the
+// service".
+func (ch *ClusterHost) URL() string { return ch.url }
+
+// Ring exposes the live ring (for test assertions).
+func (ch *ClusterHost) Ring() *cluster.Ring { return ch.m.Ring() }
+
+// Node returns the i-th member's live server (for final assertions;
+// the pointer changes across FailoverOne).
+func (ch *ClusterHost) Node(i int) *service.Server { return ch.nodes[i].host.Current() }
+
+// Misroutes sums the misroute tripwire over every node. Any value
+// above zero means a request executed against the wrong node's state.
+func (ch *ClusterHost) Misroutes() int64 {
+	var total int64
+	for _, n := range ch.nodes {
+		total += n.host.Current().NodeStats().Misroutes
+	}
+	return total
+}
+
+// FailoverOne is the cluster scenario's mid-round callback: it kills
+// one member the hard way (no drain, no flush), holds it down until
+// the health checker marks it down — so concurrent traffic genuinely
+// rides the failover window of retryable "routing" refusals — then
+// reboots it from its WAL and waits for the ring to mark it up again.
+//
+// The whole cycle is synchronous: the driver's retrain barrier runs
+// after the round's ops join, and the router fails aggregate requests
+// closed while any member is down, so the cluster must be whole again
+// by the time FailoverOne returns.
+func (ch *ClusterHost) FailoverOne() error {
+	n := ch.nodes[ch.victim]
+	if err := n.host.Kill(); err != nil {
+		return err
+	}
+	if err := ch.awaitRingDown(n.id, true); err != nil {
+		return err
+	}
+	if err := n.host.Reboot(); err != nil {
+		return err
+	}
+	return ch.awaitRingDown(n.id, false)
+}
+
+// awaitRingDown polls the ring until node id reaches the wanted health
+// state: a bounded poll on the same clock that paces the health
+// checker is the honest rendezvous with an asynchronous probe loop.
+func (ch *ClusterHost) awaitRingDown(id string, down bool) error {
+	start := ch.clk.Now()
+	for ch.clk.Since(start) < 30*time.Second {
+		if ch.m.Ring().Down(id) == down {
+			return nil
+		}
+		ch.clk.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("loadgen: ring never marked node %s down=%v", id, down)
+}
+
+// Close tears the router, the health checker and every node down.
+func (ch *ClusterHost) Close() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if ch.router != nil {
+		keep(ch.router.Close())
+	}
+	if ch.m != nil {
+		ch.m.Close()
+	}
+	for _, n := range ch.nodes {
+		keep(n.hs.Close())
+		keep(n.host.Close())
+	}
+	return first
+}

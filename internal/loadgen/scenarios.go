@@ -68,6 +68,24 @@ var Scenarios = map[string]func(seed uint64, users, rounds int) Config{
 		c.RestartAfterRound = (rounds + 1) / 2
 		return c
 	},
+	// cluster: the crash drill generalised to a sharded deployment —
+	// three WAL nodes behind the rendezvous router, one of them killed
+	// mid-round and rebooted only after the health checker marked it
+	// down, so traffic genuinely rides the retryable failover window —
+	// under the drift-retrain mix, so every barrier also exercises the
+	// router's whole-cluster retrain fan-out. The harness wires the
+	// callback to ClusterHost.FailoverOne and asserts the misroute
+	// tripwire stayed at zero.
+	"cluster": func(seed uint64, users, rounds int) Config {
+		c := steadyScenario(seed, users, rounds)
+		c.Scenario = "cluster"
+		c.Drift = 0.6
+		c.RetryFraction = 0.3
+		c.AsyncFraction = 0.3
+		c.RetrainEvery = 1
+		c.RestartAfterRound = (rounds + 1) / 2
+		return c
+	},
 }
 
 func steadyScenario(seed uint64, users, rounds int) Config {

@@ -34,6 +34,7 @@ type Host struct {
 	mu      sync.Mutex
 	current *service.Server
 	curFS   *store.FaultFS // nil on snapshot hosts
+	killed  bool           // between Kill and Reboot
 }
 
 // NewHost boots the first server via mk. statePath is where Restart
@@ -139,10 +140,25 @@ func (h *Host) Restart() error {
 // the log and must survive; everything else is legitimately lost and
 // re-delivered by the driver's retries. Only valid on WAL hosts.
 func (h *Host) Crash() error {
+	if err := h.Kill(); err != nil {
+		return err
+	}
+	return h.Reboot()
+}
+
+// Kill is the first half of Crash: sever the live incarnation and leave
+// the host down (every request answers the retryable 503) until Reboot.
+// The cluster scenario uses the split so a node stays dead long enough
+// for the router's health checks to mark it down and traffic to ride
+// out the failover window.
+func (h *Host) Kill() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.mkWAL == nil {
-		return fmt.Errorf("loadgen: Crash on a snapshot host (use Restart)")
+		return fmt.Errorf("loadgen: Kill on a snapshot host (use Restart)")
+	}
+	if h.killed {
+		return fmt.Errorf("loadgen: Kill on a host that is already down")
 	}
 	h.handler.Store(downHandler())
 	// Sever the disk first: in-flight writes die, nothing unsynced can
@@ -153,11 +169,24 @@ func (h *Host) Crash() error {
 	// not a drain — with its filesystem dead, its shutdown path cannot
 	// touch the log.
 	h.current.Close() //nolint:errcheck // the dead store makes this fail by design
+	h.killed = true
+	return nil
+}
+
+// Reboot is the second half of Crash: boot a replacement from whatever
+// the WAL holds and swap it in.
+func (h *Host) Reboot() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.killed {
+		return fmt.Errorf("loadgen: Reboot on a host that is not down")
+	}
 	next, ffs, err := h.bootWAL()
 	if err != nil {
 		return err
 	}
 	h.current, h.curFS = next, ffs
+	h.killed = false
 	h.handler.Store(next.Handler())
 	return nil
 }

@@ -119,7 +119,7 @@ func (c *Client) UploadAsync(t trace.Trace) (JobStatus, error) {
 
 // Job fetches the status of an asynchronous upload.
 func (c *Client) Job(id string) (JobStatus, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/jobs/"+id, nil)
+	resp, err := c.get(c.BaseURL+"/v2/jobs/"+id, "")
 	if err != nil {
 		return JobStatus{}, fmt.Errorf("service: job status: %w", err)
 	}
@@ -176,7 +176,7 @@ func (c *Client) Retrain() (RetrainReport, error) {
 
 // Metrics fetches the server's request metrics.
 func (c *Client) Metrics() (MetricsSnapshot, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/metrics", nil)
+	resp, err := c.get(c.BaseURL+"/v2/metrics", "")
 	if err != nil {
 		return MetricsSnapshot{}, fmt.Errorf("service: metrics: %w", err)
 	}
@@ -226,7 +226,7 @@ func (c *Client) Dataset() (trace.Dataset, error) {
 
 // Stats fetches the server counters.
 func (c *Client) Stats() (ServerStats, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/stats", nil)
+	resp, err := c.get(c.BaseURL+"/v2/stats", "")
 	if err != nil {
 		return ServerStats{}, fmt.Errorf("service: stats: %w", err)
 	}
@@ -243,7 +243,7 @@ func (c *Client) Stats() (ServerStats, error) {
 
 // UserStats fetches one participant's accounting.
 func (c *Client) UserStats(user string) (UserStats, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/users/"+user, nil)
+	resp, err := c.get(c.BaseURL+"/v2/users/"+user, "")
 	if err != nil {
 		return UserStats{}, fmt.Errorf("service: user stats: %w", err)
 	}

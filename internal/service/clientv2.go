@@ -28,13 +28,36 @@ func (c *Client) UploadBatchStream(chunks []BatchChunk, fn func(BatchResult) err
 		return fmt.Errorf("service: empty batch")
 	}
 	user := chunks[0].User
+	keyed := true
 	for _, ch := range chunks {
 		if ch.User != user {
 			user = ""
-			break
+		}
+		if ch.Key == "" {
+			keyed = false
 		}
 	}
 
+	// A fully keyed batch is protected by the server's idempotency
+	// window, so a transport-level failure before any result arrived
+	// (connection refused/reset during a node failover) re-issues the
+	// whole batch: replays answer from the window, fresh chunks process
+	// once. Unkeyed batches never retry — a re-send could double-commit.
+	clk := c.clock()
+	for attempt := 1; ; attempt++ {
+		retryable, err := c.uploadBatchOnce(chunks, user, fn)
+		if err == nil || !retryable || !keyed || attempt >= clientRetryAttempts {
+			return err
+		}
+		clk.Sleep(clientBackoff(attempt))
+	}
+}
+
+// uploadBatchOnce performs one POST /v2/traces exchange. retryable
+// reports that the failure happened before fn saw a single result
+// (transport failure or an intermediary 502), i.e. the batch can be
+// re-issued without double-delivering results to the caller.
+func (c *Client) uploadBatchOnce(chunks []BatchChunk, user string, fn func(BatchResult) error) (retryable bool, _ error) {
 	// The request body is a pipe fed as the server consumes it, so a
 	// large backlog is never materialised client-side: the server's
 	// in-flight window paces the encoder through the connection's flow
@@ -62,7 +85,7 @@ func (c *Client) UploadBatchStream(chunks []BatchChunk, fn func(BatchResult) err
 	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v2/traces", pr)
 	if err != nil {
 		pr.Close()
-		return fmt.Errorf("service: batch upload: %w", err)
+		return false, fmt.Errorf("service: batch upload: %w", err)
 	}
 	req.Header.Set("Content-Type", NDJSONContentType)
 	if user != "" {
@@ -73,11 +96,11 @@ func (c *Client) UploadBatchStream(chunks []BatchChunk, fn func(BatchResult) err
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return fmt.Errorf("service: batch upload: %w", err)
+		return true, fmt.Errorf("service: batch upload: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
+		return resp.StatusCode == http.StatusBadGateway, decodeError(resp)
 	}
 
 	dec := json.NewDecoder(resp.Body)
@@ -85,17 +108,17 @@ func (c *Client) UploadBatchStream(chunks []BatchChunk, fn func(BatchResult) err
 	for dec.More() {
 		var res BatchResult
 		if err := dec.Decode(&res); err != nil {
-			return fmt.Errorf("service: decoding batch result %d: %w", results, err)
+			return results == 0, fmt.Errorf("service: decoding batch result %d: %w", results, err)
 		}
 		results++
 		if err := fn(res); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if results != len(chunks) {
-		return fmt.Errorf("service: server answered %d results for %d chunks", results, len(chunks))
+		return false, fmt.Errorf("service: server answered %d results for %d chunks", results, len(chunks))
 	}
-	return nil
+	return false, nil
 }
 
 // UploadBatch sends the chunks as one NDJSON batch and collects the
@@ -167,17 +190,19 @@ func (c *Client) DatasetPageV2(q DatasetQuery) (ClientDatasetPage, error) {
 	if vals := q.values(); len(vals) > 0 {
 		u += "?" + vals.Encode()
 	}
-	req, err := http.NewRequest(http.MethodGet, u, nil)
-	if err != nil {
-		return ClientDatasetPage{}, fmt.Errorf("service: dataset page: %w", err)
-	}
-	if q.IfNoneMatch != "" {
-		req.Header.Set("If-None-Match", q.IfNoneMatch)
-	}
-	if c.authToken != "" {
-		req.Header.Set("Authorization", "Bearer "+c.authToken)
-	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.retryDo(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		if q.IfNoneMatch != "" {
+			req.Header.Set("If-None-Match", q.IfNoneMatch)
+		}
+		if c.authToken != "" {
+			req.Header.Set("Authorization", "Bearer "+c.authToken)
+		}
+		return req, nil
+	})
 	if err != nil {
 		return ClientDatasetPage{}, fmt.Errorf("service: dataset page: %w", err)
 	}
@@ -240,7 +265,7 @@ func (c *Client) Jobs(state, user string, limit int) (JobList, error) {
 	if len(vals) > 0 {
 		u += "?" + vals.Encode()
 	}
-	resp, err := c.do(http.MethodGet, u, nil)
+	resp, err := c.get(u, "")
 	if err != nil {
 		return JobList{}, fmt.Errorf("service: jobs: %w", err)
 	}
@@ -257,7 +282,7 @@ func (c *Client) Jobs(state, user string, limit int) (JobList, error) {
 
 // OpenAPI fetches the server's generated OpenAPI document.
 func (c *Client) OpenAPI() (map[string]any, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/v2/openapi.json", nil)
+	resp, err := c.get(c.BaseURL+"/v2/openapi.json", "")
 	if err != nil {
 		return nil, fmt.Errorf("service: openapi: %w", err)
 	}

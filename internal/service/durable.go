@@ -566,15 +566,21 @@ type PersistenceStats struct {
 }
 
 // StatsPayload is the GET /v{1,2}/stats body. The embedded ServerStats
-// flattens, and Persistence is omitted when no store is configured, so
-// store-less servers keep the historical byte-identical shape.
+// flattens; Persistence is omitted when no store is configured and Node
+// when no node ID is configured, so standalone servers keep the
+// historical byte-identical shape.
 type StatsPayload struct {
 	ServerStats
 	Persistence *PersistenceStats `json:"persistence,omitempty"`
+	Node        *NodeStats        `json:"node,omitempty"`
 }
 
 func (s *Server) statsPayload() StatsPayload {
 	out := StatsPayload{ServerStats: s.statsSnapshot()}
+	if s.node != nil {
+		ns := s.NodeStats()
+		out.Node = &ns
+	}
 	if s.store == nil {
 		return out
 	}

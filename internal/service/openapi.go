@@ -359,7 +359,7 @@ func problemCodes() []any {
 		CodeRateLimited, CodeUnauthorized, CodeNotFound, CodeMethodNotAllowed,
 		CodeNotAcceptable, CodeBadCursor, CodeCancelled, CodeShuttingDown,
 		CodeTimeout, CodeInternal, CodeRetrainInProgress, CodeRetrainMissing,
-		CodeStorage,
+		CodeStorage, CodeRouting,
 	}
 }
 
@@ -413,6 +413,10 @@ func openapiSchemas() map[string]any {
 			"records_published": integer, "records_rejected": integer, "records_quarantined": integer,
 			"published_traces": integer, "quarantined_traces": integer, "retrains": integer,
 			"persistence": ref("PersistenceStats"),
+			"node":        ref("NodeStats"),
+		}),
+		"NodeStats": obj(map[string]any{
+			"id": str, "ring_epoch": integer, "booted_at": integer, "misroutes": integer,
 		}),
 		"PersistenceStats": obj(map[string]any{
 			"store": str, "checkpoints": integer, "checkpoint_failures": integer,

@@ -61,6 +61,11 @@ const (
 	CodeRetrainInProgress = "retrain_in_progress"
 	CodeRetrainMissing    = "retrain_unconfigured"
 	CodeStorage           = "storage_unavailable"
+	// CodeRouting marks a retryable cluster-routing refusal: the owner
+	// of the request's key is failing over, the router could not reach
+	// it, or a stale ring stamped the wrong owner. Always 503 +
+	// Retry-After; clients retry exactly like a shed.
+	CodeRouting = "routing"
 )
 
 // newProblem assembles the RFC 7807 document for one occurrence.
@@ -72,6 +77,13 @@ func newProblem(status int, code, detail string) Problem {
 		Code:   code,
 		Detail: detail,
 	}
+}
+
+// NewProblem assembles the RFC 7807 document for one occurrence. It is
+// the exported constructor for the cluster tier (internal/cluster),
+// which answers in the same closed dialect the service owns.
+func NewProblem(status int, code, detail string) Problem {
+	return newProblem(status, code, detail)
 }
 
 // writeProblem renders p as application/problem+json.

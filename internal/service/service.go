@@ -123,6 +123,11 @@ type Options struct {
 	// by Recover. 0 defaults to one minute when a Store is configured;
 	// negative disables the loop (Checkpoint still works on demand).
 	CheckpointInterval time.Duration
+	// NodeID, when non-empty, is this server's stable identity within a
+	// moodrouter cluster: /v2/stats gains the node section, and
+	// requests the router stamped for a different owner are refused
+	// with a retryable 503 "routing" (see node.go).
+	NodeID string
 }
 
 // Option mutates Options.
@@ -180,6 +185,10 @@ func WithStore(st store.Store) Option { return func(o *Options) { o.Store = st }
 func WithCheckpointInterval(d time.Duration) Option {
 	return func(o *Options) { o.CheckpointInterval = d }
 }
+
+// WithNodeID sets the server's stable cluster identity (the misroute
+// guard and the stats node section come with it).
+func WithNodeID(id string) Option { return func(o *Options) { o.NodeID = id } }
 
 // DefaultRequestTimeout is what a zero Options.RequestTimeout means;
 // exported so operators sizing http.Server write timeouts around the
@@ -275,6 +284,9 @@ type Server struct {
 	ckptTicks atomic.Int64
 	persistMu sync.Mutex
 	persist   persistState
+
+	// node is the cluster identity (nil outside a cluster); see node.go.
+	node *nodeState
 }
 
 // engineState is the atomically-swapped protection engine: the
@@ -372,6 +384,9 @@ func New(p Protector, opts ...Option) (*Server, error) {
 		metrics: newRequestMetrics(o.Clock),
 		store:   o.Store,
 	}
+	if o.NodeID != "" {
+		s.node = &nodeState{id: o.NodeID, bootedAt: o.Clock.Now().Unix()}
+	}
 	s.engine.Store(&engineState{p: p})
 	for i := range s.shards {
 		s.shards[i].users = make(map[string]*UserStats)
@@ -429,6 +444,9 @@ func (s *Server) Handler() http.Handler {
 	rr := buildRouter(s.routes())
 
 	mws := []Middleware{rr.resolve, s.metrics.middleware, Recover()}
+	if s.node != nil {
+		mws = append(mws, s.ownerGuard)
+	}
 	if s.opts.RequestTimeout > 0 {
 		mws = append(mws, Timeout(s.opts.RequestTimeout))
 	}
